@@ -1,0 +1,170 @@
+//! Benchmarks of the graph substrate and the vertex-centric framework:
+//! generation, reordering, and the edge_map primitives in both directions.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use omega_graph::{generators, reorder, stats};
+use omega_ligra::edge_map::{edge_map, Activation, Direction};
+use omega_ligra::trace::{CollectingTracer, NullTracer};
+use omega_ligra::{algorithms, Ctx, ExecConfig, VertexSubset};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph");
+    for scale in [10u32, 12] {
+        g.bench_with_input(BenchmarkId::new("rmat", scale), &scale, |b, &scale| {
+            b.iter(|| {
+                black_box(generators::rmat(
+                    scale,
+                    8,
+                    generators::RmatParams::default(),
+                    1,
+                ))
+            })
+        });
+    }
+    g.bench_function("grid_road_64x64", |b| {
+        b.iter(|| black_box(generators::grid_road(64, 64, 0.1, 100, 1)))
+    });
+    g.finish();
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    let g = generators::rmat(12, 8, generators::RmatParams::default(), 2).unwrap();
+    let mut grp = c.benchmark_group("reorder");
+    grp.bench_function("nth_element_20pct", |b| {
+        b.iter(|| {
+            black_box(reorder::compute_permutation(
+                &g,
+                reorder::Reordering::NthElement { frac_permille: 200 },
+            ))
+        })
+    });
+    grp.bench_function("in_degree_sort", |b| {
+        b.iter(|| {
+            black_box(reorder::compute_permutation(
+                &g,
+                reorder::Reordering::InDegreeSort,
+            ))
+        })
+    });
+    grp.bench_function("apply_permutation", |b| {
+        let p = reorder::compute_permutation(&g, reorder::Reordering::InDegreeSort);
+        b.iter(|| black_box(reorder::apply(&g, &p).unwrap()))
+    });
+    grp.bench_function("degree_stats", |b| {
+        b.iter(|| black_box(stats::degree_stats(&g)))
+    });
+    grp.finish();
+}
+
+fn bench_edge_map(c: &mut Criterion) {
+    let g = generators::rmat(11, 8, generators::RmatParams::default(), 3).unwrap();
+    let n = g.num_vertices();
+    let mut grp = c.benchmark_group("edge_map");
+    grp.bench_function("push_untraced", |b| {
+        let mut t = NullTracer;
+        b.iter(|| {
+            let mut ctx = Ctx::new(ExecConfig::default(), &mut t);
+            let frontier = VertexSubset::all(n);
+            black_box(edge_map(
+                &g,
+                &mut ctx,
+                &frontier,
+                Direction::Push,
+                &mut |_, _, _, _, _, _| Activation::None,
+                None,
+            ))
+        })
+    });
+    grp.bench_function("pull_untraced", |b| {
+        let mut t = NullTracer;
+        b.iter(|| {
+            let mut ctx = Ctx::new(ExecConfig::default(), &mut t);
+            let frontier = VertexSubset::all(n);
+            black_box(edge_map(
+                &g,
+                &mut ctx,
+                &frontier,
+                Direction::Pull,
+                &mut |_, _, _, _, _, _| Activation::None,
+                None,
+            ))
+        })
+    });
+    grp.bench_function("push_traced", |b| {
+        b.iter(|| {
+            let mut t = CollectingTracer::new(16);
+            let mut ctx = Ctx::new(ExecConfig::default(), &mut t);
+            let frontier = VertexSubset::all(n);
+            edge_map(
+                &g,
+                &mut ctx,
+                &frontier,
+                Direction::Push,
+                &mut |_, _, _, _, _, _| Activation::None,
+                None,
+            );
+            black_box(t.finish().events())
+        })
+    });
+    grp.finish();
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let g = generators::rmat(11, 8, generators::RmatParams::default(), 4).unwrap();
+    let mut grp = c.benchmark_group("algorithms_functional");
+    grp.bench_function("pagerank_1iter", |b| {
+        let mut t = NullTracer;
+        b.iter(|| {
+            let mut ctx = Ctx::new(ExecConfig::default(), &mut t);
+            black_box(algorithms::pagerank(&g, &mut ctx, 1))
+        })
+    });
+    grp.bench_function("bfs", |b| {
+        let mut t = NullTracer;
+        b.iter(|| {
+            let mut ctx = Ctx::new(ExecConfig::default(), &mut t);
+            black_box(algorithms::bfs(&g, &mut ctx, 0))
+        })
+    });
+    grp.bench_function("sssp", |b| {
+        let mut t = NullTracer;
+        b.iter(|| {
+            let mut ctx = Ctx::new(ExecConfig::default(), &mut t);
+            black_box(algorithms::sssp(&g, &mut ctx, 0))
+        })
+    });
+    grp.finish();
+}
+
+fn bench_native(c: &mut Criterion) {
+    let g = generators::rmat(12, 8, generators::RmatParams::default(), 5).unwrap();
+    let mut grp = c.benchmark_group("native_vs_sequential");
+    grp.sample_size(20);
+    grp.bench_function("pagerank_sequential", |b| {
+        let mut t = NullTracer;
+        b.iter(|| {
+            let mut ctx = Ctx::new(ExecConfig::default(), &mut t);
+            black_box(algorithms::pagerank(&g, &mut ctx, 1))
+        })
+    });
+    for threads in [1usize, 4, 8] {
+        grp.bench_with_input(
+            BenchmarkId::new("pagerank_native", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(omega_ligra::native::pagerank_parallel(&g, 1, threads)))
+            },
+        );
+    }
+    grp.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_reorder,
+    bench_edge_map,
+    bench_algorithms,
+    bench_native
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Micro-benchmarks of the simulator substrate's hot paths: cache array
+//! lookups, crossbar packet accounting, DRAM channel accounting, PISC
+//! dispatch, and microcode execution. These guard the simulator's own
+//! performance (the harness replays tens of millions of events).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use omega_core::microcode;
+use omega_core::pisc::PiscEngine;
+use omega_sim::cache::{CacheArray, LineState};
+use omega_sim::dram::DramModel;
+use omega_sim::noc::Crossbar;
+use omega_sim::{AtomicKind, CacheConfig, DramConfig, NocConfig};
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = CacheConfig {
+        capacity: 16 * 1024,
+        ways: 8,
+        latency: 10,
+    };
+    c.bench_function("cache/lookup_hit", |b| {
+        let mut cache = CacheArray::new(&cfg);
+        for i in 0..cfg.lines() {
+            cache.insert(i * 64, LineState::Shared);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % cfg.lines();
+            black_box(cache.lookup(i * 64))
+        });
+    });
+    c.bench_function("cache/insert_evict", |b| {
+        let mut cache = CacheArray::new(&cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.insert(i * 64, LineState::Modified))
+        });
+    });
+}
+
+fn bench_noc(c: &mut Criterion) {
+    c.bench_function("noc/send_word_packet", |b| {
+        let mut x = Crossbar::new(
+            NocConfig {
+                latency: 8,
+                bytes_per_cycle: 16,
+                header_bytes: 8,
+            },
+            16,
+        );
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 3;
+            black_box(x.send((t % 16) as usize, 8, t))
+        });
+    });
+    c.bench_function("noc/round_trip_line", |b| {
+        let mut x = Crossbar::new(
+            NocConfig {
+                latency: 8,
+                bytes_per_cycle: 16,
+                header_bytes: 8,
+            },
+            16,
+        );
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 5;
+            black_box(x.round_trip((t % 16) as usize, 8, 64, t))
+        });
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram/access_line", |b| {
+        let mut d = DramModel::new(DramConfig {
+            channels: 4,
+            latency: 60,
+            bytes_per_cycle: 6.4,
+            default_mode: omega_sim::dram::RowMode::ClosePage,
+        });
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 7;
+            black_box(d.access_line(t * 64, false, t))
+        });
+    });
+}
+
+fn bench_pisc(c: &mut Criterion) {
+    c.bench_function("pisc/execute_fp_add", |b| {
+        let mut p = PiscEngine::new(3);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            black_box(p.execute(AtomicKind::FpAdd, t))
+        });
+    });
+    c.bench_function("microcode/compile", |b| {
+        b.iter(|| black_box(microcode::compile(AtomicKind::SignedMin)));
+    });
+    c.bench_function("microcode/execute", |b| {
+        let p = microcode::compile(AtomicKind::FpAdd);
+        b.iter(|| black_box(p.execute(2.5f64.to_bits(), 0.75f64.to_bits())));
+    });
+}
+
+criterion_group!(benches, bench_cache, bench_noc, bench_dram, bench_pisc);
+criterion_main!(benches);

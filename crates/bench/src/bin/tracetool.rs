@@ -1,0 +1,121 @@
+//! `tracetool` — inspect the memory-access traces the framework produces.
+//!
+//! ```text
+//! tracetool classify <dataset> <algo> [--tiny]   # Table II-style rates
+//! tracetool hot <dataset> <algo> [--tiny]        # Fig 4b/5 access skew
+//! tracetool dump <dataset> <algo> [--limit N]    # first events per core
+//! ```
+//!
+//! Algorithms: PageRank, BFS, SSSP, BC, Radii, CC, TC, KC (case-insensitive).
+
+use omega_bench::session::AlgoKey;
+use omega_core::runner::trace_algorithm;
+use omega_graph::datasets::{Dataset, DatasetScale};
+use omega_ligra::ExecConfig;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tracetool: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn algo_by_name(name: &str) -> Option<AlgoKey> {
+    AlgoKey::ALL
+        .iter()
+        .copied()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    if cmd == "help" {
+        eprintln!("usage: tracetool <classify|hot|dump> <dataset> <algo> [--tiny] [--limit N]");
+        return Ok(());
+    }
+    let code = args.get(1).ok_or("missing dataset code")?;
+    let d = Dataset::from_code(code).ok_or_else(|| format!("unknown dataset `{code}`"))?;
+    let aname = args.get(2).ok_or("missing algorithm name")?;
+    let a = algo_by_name(aname).ok_or_else(|| format!("unknown algorithm `{aname}`"))?;
+    let scale = if args.iter().any(|x| x == "--tiny") {
+        DatasetScale::Tiny
+    } else {
+        DatasetScale::Small
+    };
+    let g = d.build(scale)?;
+    let algo = a.algo(&g);
+    if !algo.supports(&g) {
+        return Err(format!(
+            "{} needs an undirected graph; {} is directed",
+            a.name(),
+            code
+        )
+        .into());
+    }
+    let (checksum, raw, meta) = trace_algorithm(&g, algo, &ExecConfig::default());
+
+    match cmd {
+        "classify" => {
+            let c = raw.classify();
+            println!(
+                "{} on {} ({} vertices, {} arcs): checksum {:.6}",
+                a.name(),
+                code,
+                g.num_vertices(),
+                g.num_arcs(),
+                checksum
+            );
+            println!("  events            : {}", raw.events());
+            println!("  vtxProp reads     : {}", c.prop_reads);
+            println!("  vtxProp writes    : {}", c.prop_writes);
+            println!("  vtxProp atomics   : {}", c.prop_atomics);
+            println!("  edgeList reads    : {}", c.edge_reads);
+            println!("  frontier accesses : {}", c.frontier_accesses);
+            println!("  nGraphData        : {}", c.ngraph_accesses);
+            println!("  %atomic           : {:.1}%", c.atomic_fraction() * 100.0);
+            println!("  %random (vtxProp) : {:.1}%", c.random_fraction() * 100.0);
+            println!(
+                "  monitored arrays  : {}",
+                meta.props.iter().filter(|p| p.monitored).count()
+            );
+        }
+        "hot" => {
+            println!(
+                "{} on {}: share of vtxProp accesses vs hot-prefix size",
+                a.name(),
+                code
+            );
+            for frac in [0.01, 0.05, 0.10, 0.20, 0.50] {
+                let hot = (g.num_vertices() as f64 * frac).ceil() as u32;
+                println!(
+                    "  top {:>4.0}% ({:>8} vertices): {:>5.1}%",
+                    frac * 100.0,
+                    hot,
+                    raw.prop_access_fraction_below(hot) * 100.0
+                );
+            }
+        }
+        "dump" => {
+            let limit: usize = args
+                .iter()
+                .position(|x| x == "--limit")
+                .and_then(|i| args.get(i + 1))
+                .map(|v| v.parse())
+                .transpose()?
+                .unwrap_or(10);
+            for (core, stream) in raw.per_core.iter().enumerate() {
+                println!("core {core}: {} events", stream.len());
+                for ev in stream.iter().take(limit) {
+                    println!("  {ev:?}");
+                }
+            }
+        }
+        other => return Err(format!("unknown command `{other}`").into()),
+    }
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! # omega-bench
+//!
+//! The benchmark harness of the OMEGA reproduction: shared experiment
+//! plumbing for the `figures` binary (which regenerates every table and
+//! figure of the paper) and the Criterion micro-benchmarks.
+//!
+//! The heart is [`Session`], a memoising runner: each
+//! `(dataset, algorithm, machine)` triple is simulated once and the
+//! `RunReport` reused by every figure that needs it, so `figures all`
+//! does not redo work.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod session;
+pub mod table;
+
+pub use session::{MachineKind, Session};
+pub use table::Table;

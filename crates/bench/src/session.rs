@@ -1,0 +1,365 @@
+//! Memoising experiment runner shared by all figures.
+
+use omega_core::config::SystemConfig;
+use omega_core::runner::{run, RunConfig, RunReport};
+use omega_graph::datasets::{Dataset, DatasetScale};
+use omega_graph::CsrGraph;
+use omega_ligra::algorithms::Algo;
+use std::collections::HashMap;
+
+/// Which machine a run executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineKind {
+    /// The baseline CMP.
+    Baseline,
+    /// The standard OMEGA machine.
+    Omega,
+    /// OMEGA with the scratchpad scaled to `permille/1000` of its standard
+    /// size (Fig. 19 sensitivity sweep).
+    OmegaScaledSp {
+        /// Scratchpad size in permille of the standard size.
+        permille: u32,
+    },
+    /// OMEGA without PISC engines (§X.A "using scratchpads as storage").
+    OmegaNoPisc,
+    /// OMEGA without the source-vertex buffer (§V.C ablation).
+    OmegaNoSvb,
+    /// OMEGA whose scratchpad mapping chunk mismatches the framework's
+    /// scheduling chunk (Fig. 12 ablation).
+    OmegaChunkMismatch,
+    /// OMEGA plus the paper's §IX off-chip future-work extensions
+    /// (word-granularity DRAM, PIM offload, hybrid page policy).
+    OmegaOffchip,
+    /// The §IX locked-cache alternative: hot vtxProp lines pinned in a
+    /// full-size L2, no scratchpads, no PISCs.
+    LockedCache,
+}
+
+impl MachineKind {
+    /// Builds the corresponding system configuration at mini scale.
+    pub fn system(self) -> SystemConfig {
+        match self {
+            MachineKind::Baseline => SystemConfig::mini_baseline(),
+            MachineKind::Omega => SystemConfig::mini_omega(),
+            MachineKind::OmegaScaledSp { permille } => {
+                let base = SystemConfig::mini_omega();
+                let sp = base.omega.unwrap().sp_bytes_per_core * permille as u64 / 1000;
+                base.with_scratchpad_bytes(sp.max(64))
+            }
+            MachineKind::OmegaNoPisc => {
+                let mut s = SystemConfig::mini_omega();
+                s.omega.as_mut().unwrap().pisc_enabled = false;
+                s
+            }
+            MachineKind::OmegaNoSvb => {
+                let mut s = SystemConfig::mini_omega();
+                s.omega.as_mut().unwrap().svb_enabled = false;
+                s
+            }
+            MachineKind::OmegaChunkMismatch => {
+                let mut s = SystemConfig::mini_omega();
+                // Framework schedules with chunk 4; map scratchpads with 64.
+                s.omega.as_mut().unwrap().mapping_chunk = 64;
+                s
+            }
+            MachineKind::OmegaOffchip => {
+                let mut s = SystemConfig::mini_omega();
+                s.omega.as_mut().unwrap().ext = omega_core::config::OffchipExtensions::all();
+                s
+            }
+            MachineKind::LockedCache => SystemConfig::mini_locked_cache(),
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> String {
+        match self {
+            MachineKind::Baseline => "baseline".into(),
+            MachineKind::Omega => "omega".into(),
+            MachineKind::OmegaScaledSp { permille } => format!("omega-sp{permille}"),
+            MachineKind::OmegaNoPisc => "omega-nopisc".into(),
+            MachineKind::OmegaNoSvb => "omega-nosvb".into(),
+            MachineKind::OmegaChunkMismatch => "omega-chunkmis".into(),
+            MachineKind::OmegaOffchip => "omega-offchip".into(),
+            MachineKind::LockedCache => "locked-cache".into(),
+        }
+    }
+}
+
+/// A named algorithm instance usable as a cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgoKey {
+    /// PageRank, one iteration (as the paper simulates).
+    PageRank,
+    /// BFS from the default root.
+    Bfs,
+    /// SSSP from the default root.
+    Sssp,
+    /// BC forward pass from the default root.
+    Bc,
+    /// Radii with sample 16.
+    Radii,
+    /// Connected components.
+    Cc,
+    /// Triangle counting.
+    Tc,
+    /// 3-core.
+    KCore,
+}
+
+impl AlgoKey {
+    /// All eight workloads.
+    pub const ALL: [AlgoKey; 8] = [
+        AlgoKey::PageRank,
+        AlgoKey::Bfs,
+        AlgoKey::Sssp,
+        AlgoKey::Bc,
+        AlgoKey::Radii,
+        AlgoKey::Cc,
+        AlgoKey::Tc,
+        AlgoKey::KCore,
+    ];
+
+    /// The concrete algorithm instance for `g` (roots resolved).
+    pub fn algo(self, g: &CsrGraph) -> Algo {
+        let a = match self {
+            AlgoKey::PageRank => Algo::PageRank { iters: 1 },
+            AlgoKey::Bfs => Algo::Bfs { root: 0 },
+            AlgoKey::Sssp => Algo::Sssp { root: 0 },
+            AlgoKey::Bc => Algo::Bc { root: 0 },
+            AlgoKey::Radii => Algo::Radii { sample: 16 },
+            AlgoKey::Cc => Algo::Cc,
+            AlgoKey::Tc => Algo::Tc,
+            AlgoKey::KCore => Algo::KCore { k: 3 },
+        };
+        a.with_default_root(g)
+    }
+
+    /// Paper figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoKey::PageRank => "PageRank",
+            AlgoKey::Bfs => "BFS",
+            AlgoKey::Sssp => "SSSP",
+            AlgoKey::Bc => "BC",
+            AlgoKey::Radii => "Radii",
+            AlgoKey::Cc => "CC",
+            AlgoKey::Tc => "TC",
+            AlgoKey::KCore => "KC",
+        }
+    }
+}
+
+/// Memoising experiment session.
+#[derive(Debug)]
+pub struct Session {
+    scale: DatasetScale,
+    graphs: HashMap<Dataset, CsrGraph>,
+    runs: HashMap<(Dataset, AlgoKey, MachineKind), RunReport>,
+    /// Print progress lines while running.
+    pub verbose: bool,
+}
+
+impl Session {
+    /// Creates a session at the given dataset scale.
+    pub fn new(scale: DatasetScale) -> Self {
+        Session {
+            scale,
+            graphs: HashMap::new(),
+            runs: HashMap::new(),
+            verbose: true,
+        }
+    }
+
+    /// The session's dataset scale.
+    pub fn scale(&self) -> DatasetScale {
+        self.scale
+    }
+
+    /// Builds (and caches) a dataset's graph.
+    pub fn graph(&mut self, d: Dataset) -> &CsrGraph {
+        let scale = self.scale;
+        self.graphs.entry(d).or_insert_with(|| {
+            d.build(scale)
+                .expect("dataset registry parameters are valid")
+        })
+    }
+
+    /// Whether an algorithm can run on a dataset (symmetry requirement).
+    pub fn supports(&mut self, d: Dataset, a: AlgoKey) -> bool {
+        let g = self.graph(d);
+        a.algo(g).supports(g)
+    }
+
+    /// Runs every experiment in `work` that is not already cached, in
+    /// parallel (one OS thread per pending experiment batch), and stores
+    /// the reports. Subsequent [`Session::report`] calls are cache hits.
+    ///
+    /// Simulations are deterministic and independent, so parallel execution
+    /// changes nothing but wall-clock time.
+    pub fn prefetch(&mut self, work: &[(Dataset, AlgoKey, MachineKind)]) {
+        let pending: Vec<(Dataset, AlgoKey, MachineKind)> = {
+            let mut seen = std::collections::HashSet::new();
+            work.iter()
+                .copied()
+                .filter(|key| !self.runs.contains_key(key) && seen.insert(*key))
+                .collect()
+        };
+        if pending.is_empty() {
+            return;
+        }
+        // Build the needed graphs first (cached, sequential — cheap next to
+        // the simulations).
+        for &(d, _, _) in &pending {
+            self.graph(d);
+        }
+        let graphs = &self.graphs;
+        let verbose = self.verbose;
+        let results: Vec<((Dataset, AlgoKey, MachineKind), RunReport)> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = pending
+                    .iter()
+                    .map(|&key| {
+                        scope.spawn(move |_| {
+                            let (d, a, m) = key;
+                            let g = &graphs[&d];
+                            if verbose {
+                                eprintln!("  [run] {} on {} ({})", a.name(), d.code(), m.label());
+                            }
+                            let report = run(g, a.algo(g), &RunConfig::new(m.system()));
+                            (key, report)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("simulation thread panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
+        self.runs.extend(results);
+    }
+
+    /// Runs (or fetches) one experiment.
+    pub fn report(&mut self, d: Dataset, a: AlgoKey, m: MachineKind) -> &RunReport {
+        if !self.runs.contains_key(&(d, a, m)) {
+            let g = self.graph(d).clone();
+            let algo = a.algo(&g);
+            if self.verbose {
+                eprintln!(
+                    "  [run] {} on {} ({}) — {} vertices, {} arcs",
+                    a.name(),
+                    d.code(),
+                    m.label(),
+                    g.num_vertices(),
+                    g.num_arcs()
+                );
+            }
+            let report = run(&g, algo, &RunConfig::new(m.system()));
+            self.runs.insert((d, a, m), report);
+        }
+        &self.runs[&(d, a, m)]
+    }
+
+    /// OMEGA-over-baseline speedup for one experiment.
+    pub fn speedup(&mut self, d: Dataset, a: AlgoKey) -> f64 {
+        let base = self.report(d, a, MachineKind::Baseline).total_cycles;
+        let omega = self.report(d, a, MachineKind::Omega).total_cycles;
+        if omega == 0 {
+            0.0
+        } else {
+            base as f64 / omega as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_memoises_runs() {
+        let mut s = Session::new(DatasetScale::Tiny);
+        s.verbose = false;
+        let a = s
+            .report(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline)
+            .clone();
+        let b = s
+            .report(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline)
+            .clone();
+        assert_eq!(a, b);
+        assert_eq!(s.runs.len(), 1);
+    }
+
+    #[test]
+    fn machine_kinds_produce_expected_configs() {
+        assert!(!MachineKind::Baseline.system().is_omega());
+        assert!(MachineKind::Omega.system().is_omega());
+        let half = MachineKind::OmegaScaledSp { permille: 500 }.system();
+        assert_eq!(
+            half.omega.unwrap().sp_bytes_per_core * 2,
+            MachineKind::Omega.system().omega.unwrap().sp_bytes_per_core
+        );
+        assert!(
+            !MachineKind::OmegaNoPisc
+                .system()
+                .omega
+                .unwrap()
+                .pisc_enabled
+        );
+        assert!(!MachineKind::OmegaNoSvb.system().omega.unwrap().svb_enabled);
+        assert_eq!(
+            MachineKind::OmegaChunkMismatch
+                .system()
+                .omega
+                .unwrap()
+                .mapping_chunk,
+            64
+        );
+    }
+
+    #[test]
+    fn prefetch_fills_the_cache_in_parallel() {
+        let mut s = Session::new(DatasetScale::Tiny);
+        s.verbose = false;
+        let work = [
+            (Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline),
+            (Dataset::Sd, AlgoKey::Bfs, MachineKind::Omega),
+            (Dataset::Ap, AlgoKey::Cc, MachineKind::Baseline),
+        ];
+        s.prefetch(&work);
+        assert_eq!(s.runs.len(), 3);
+        // Prefetched results are identical to sequential ones.
+        let cached = s
+            .report(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline)
+            .clone();
+        let mut fresh_session = Session::new(DatasetScale::Tiny);
+        fresh_session.verbose = false;
+        let fresh = fresh_session
+            .report(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline)
+            .clone();
+        assert_eq!(cached, fresh);
+    }
+
+    #[test]
+    fn prefetch_skips_cached_and_duplicate_work() {
+        let mut s = Session::new(DatasetScale::Tiny);
+        s.verbose = false;
+        s.report(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline);
+        let work = [
+            (Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline),
+            (Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline),
+        ];
+        s.prefetch(&work);
+        assert_eq!(s.runs.len(), 1);
+    }
+
+    #[test]
+    fn undirected_algos_gated_by_dataset() {
+        let mut s = Session::new(DatasetScale::Tiny);
+        s.verbose = false;
+        assert!(!s.supports(Dataset::Lj, AlgoKey::Cc));
+        assert!(s.supports(Dataset::Ap, AlgoKey::Cc));
+        assert!(s.supports(Dataset::Lj, AlgoKey::PageRank));
+    }
+}

@@ -1,0 +1,253 @@
+//! System assembly: the baseline CMP versus the OMEGA machine.
+//!
+//! The paper's rule (Table III): OMEGA re-purposes **half** of each core's
+//! L2 slice as a scratchpad of the same capacity, keeping total on-chip
+//! storage identical, and adds a PISC next to each scratchpad (<1% area).
+//! All latency parameters stay at their Table III values at every scale.
+
+use omega_sim::{Cycle, MachineConfig};
+use serde::{Deserialize, Serialize};
+
+/// The off-chip memory extensions the paper defers to future work (§IX
+/// "Optimizing access to the least-connected vertices"), implemented here
+/// so the `abl-offchip` experiment can evaluate them:
+///
+/// 1. word-granularity DRAM access for cold vtxProp entries,
+/// 2. PIM engines at the memory controllers executing cold-vertex atomics
+///    (the hybrid PISC + PIM architecture),
+/// 3. a hybrid page policy: open-page for streamed structures, close-page
+///    for the randomly-accessed cold vtxProp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OffchipExtensions {
+    /// §IX.1 — cold vtxProp reads/writes bypass the caches as word-sized
+    /// DRAM accesses.
+    pub word_dram: bool,
+    /// §IX.2 — cold vtxProp atomics are offloaded to per-channel PIM
+    /// engines instead of holding the core.
+    pub pim: bool,
+    /// §IX.3 — ordinary traffic uses open-page DRAM, cold vtxProp uses
+    /// close-page.
+    pub hybrid_page: bool,
+}
+
+impl OffchipExtensions {
+    /// All three extensions enabled.
+    pub fn all() -> Self {
+        OffchipExtensions {
+            word_dram: true,
+            pim: true,
+            hybrid_page: true,
+        }
+    }
+
+    /// Whether any extension is active.
+    pub fn any(&self) -> bool {
+        self.word_dram || self.pim || self.hybrid_page
+    }
+}
+
+/// Parameters of OMEGA's scratchpad/PISC extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OmegaConfig {
+    /// Scratchpad capacity per core, in bytes (Table III: 1 MB at paper
+    /// scale; 8 KB in the mini preset).
+    pub sp_bytes_per_core: u64,
+    /// Scratchpad access latency in cycles (Table III: 3).
+    pub sp_latency: u32,
+    /// Chunk size of the interleaved vertex→scratchpad mapping (§V.D).
+    /// OMEGA configures this to match the framework's OpenMP chunk (both
+    /// default to 4 at mini scale — the paper's chunk of 64 scaled by the
+    /// same factor as the datasets, so hub-update load balance across
+    /// PISCs matches the paper's). The chunk ablation deliberately
+    /// mismatches the two.
+    pub mapping_chunk: usize,
+    /// Whether PISC engines execute offloaded atomics (false = the
+    /// "scratchpads as storage" ablation of §X.A).
+    pub pisc_enabled: bool,
+    /// Whether the source-vertex buffer is present (§V.C).
+    pub svb_enabled: bool,
+    /// Source-vertex buffer entries per core.
+    pub svb_entries: usize,
+    /// Maximum cycles of queued work a PISC may accumulate before the
+    /// offloading core is back-pressured (bounds the fire-and-forget
+    /// queue).
+    pub pisc_backlog_cycles: Cycle,
+    /// The §IX off-chip extensions (all disabled on standard OMEGA).
+    pub ext: OffchipExtensions,
+}
+
+impl Default for OmegaConfig {
+    fn default() -> Self {
+        OmegaConfig {
+            sp_bytes_per_core: 8 * 1024,
+            sp_latency: 3,
+            mapping_chunk: 4,
+            pisc_enabled: true,
+            svb_enabled: true,
+            svb_entries: 32,
+            pisc_backlog_cycles: 512,
+            ext: OffchipExtensions::default(),
+        }
+    }
+}
+
+/// A complete machine: the CMP substrate plus, optionally, the OMEGA
+/// extension. `omega == None` is the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// The CMP substrate (cores, caches, NoC, DRAM). For an OMEGA machine
+    /// this already carries the *halved* L2.
+    pub machine: MachineConfig,
+    /// The scratchpad/PISC extension, absent on the baseline.
+    pub omega: Option<OmegaConfig>,
+    /// §IX locked-cache alternative: pin this many bytes per core of hot
+    /// vtxProp lines into the (full-size) L2. Mutually exclusive with
+    /// `omega`.
+    pub locked_cache_bytes: Option<u64>,
+}
+
+impl SystemConfig {
+    /// Scaled-down baseline (Table III at 1/160 capacity; see DESIGN.md).
+    pub fn mini_baseline() -> Self {
+        SystemConfig {
+            machine: MachineConfig::mini_baseline(),
+            omega: None,
+            locked_cache_bytes: None,
+        }
+    }
+
+    /// Scaled-down locked-cache machine (§IX): the baseline CMP with the
+    /// same per-core byte budget OMEGA spends on scratchpads pinned into
+    /// the L2 instead.
+    pub fn mini_locked_cache() -> Self {
+        SystemConfig {
+            machine: MachineConfig::mini_baseline(),
+            omega: None,
+            locked_cache_bytes: Some(OmegaConfig::default().sp_bytes_per_core),
+        }
+    }
+
+    /// Scaled-down OMEGA: half of each 16 KB L2 slice becomes an 8 KB
+    /// scratchpad with a PISC.
+    pub fn mini_omega() -> Self {
+        Self::omega_from_baseline(MachineConfig::mini_baseline(), OmegaConfig::default())
+    }
+
+    /// Full-scale baseline (the paper's Table III).
+    pub fn paper_baseline() -> Self {
+        SystemConfig {
+            machine: MachineConfig::paper_baseline(),
+            omega: None,
+            locked_cache_bytes: None,
+        }
+    }
+
+    /// Full-scale OMEGA: 1 MB L2 + 1 MB scratchpad per core.
+    pub fn paper_omega() -> Self {
+        Self::omega_from_baseline(
+            MachineConfig::paper_baseline(),
+            OmegaConfig {
+                sp_bytes_per_core: 1024 * 1024,
+                ..OmegaConfig::default()
+            },
+        )
+    }
+
+    /// Builds an OMEGA machine from a baseline by re-purposing half of each
+    /// L2 slice as scratchpad, overriding the scratchpad size with
+    /// `omega.sp_bytes_per_core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline L2 slice is smaller than two cache lines.
+    pub fn omega_from_baseline(mut machine: MachineConfig, omega: OmegaConfig) -> Self {
+        assert!(machine.l2.capacity >= 128, "L2 slice too small to split");
+        machine.l2.capacity /= 2;
+        SystemConfig {
+            machine,
+            omega: Some(omega),
+            locked_cache_bytes: None,
+        }
+    }
+
+    /// Returns a copy with a different scratchpad size (the Fig. 19
+    /// sensitivity sweep). No-op on a baseline.
+    pub fn with_scratchpad_bytes(mut self, bytes_per_core: u64) -> Self {
+        if let Some(o) = &mut self.omega {
+            o.sp_bytes_per_core = bytes_per_core;
+        }
+        self
+    }
+
+    /// Whether this is an OMEGA machine.
+    pub fn is_omega(&self) -> bool {
+        self.omega.is_some()
+    }
+
+    /// "baseline", "omega", or "locked-cache", for report labels.
+    pub fn label(&self) -> &'static str {
+        if self.is_omega() {
+            "omega"
+        } else if self.locked_cache_bytes.is_some() {
+            "locked-cache"
+        } else {
+            "baseline"
+        }
+    }
+
+    /// Total on-chip data storage (L2 + scratchpads), which the paper keeps
+    /// equal between the two machines.
+    pub fn total_onchip_bytes(&self) -> u64 {
+        let l2 = self.machine.l2.capacity * self.machine.core.n_cores as u64;
+        let sp = self
+            .omega
+            .map(|o| o.sp_bytes_per_core * self.machine.core.n_cores as u64)
+            .unwrap_or(0);
+        l2 + sp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omega_keeps_total_onchip_storage() {
+        let base = SystemConfig::mini_baseline();
+        let omega = SystemConfig::mini_omega();
+        assert_eq!(base.total_onchip_bytes(), omega.total_onchip_bytes());
+        let base = SystemConfig::paper_baseline();
+        let omega = SystemConfig::paper_omega();
+        assert_eq!(base.total_onchip_bytes(), omega.total_onchip_bytes());
+    }
+
+    #[test]
+    fn omega_halves_l2() {
+        let base = SystemConfig::mini_baseline();
+        let omega = SystemConfig::mini_omega();
+        assert_eq!(omega.machine.l2.capacity * 2, base.machine.l2.capacity);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SystemConfig::mini_baseline().label(), "baseline");
+        assert_eq!(SystemConfig::mini_omega().label(), "omega");
+    }
+
+    #[test]
+    fn scratchpad_sweep_rescales() {
+        let half = SystemConfig::mini_omega().with_scratchpad_bytes(4 * 1024);
+        assert_eq!(half.omega.unwrap().sp_bytes_per_core, 4 * 1024);
+        // Baselines ignore the sweep.
+        let b = SystemConfig::mini_baseline().with_scratchpad_bytes(4 * 1024);
+        assert!(b.omega.is_none());
+    }
+
+    #[test]
+    fn paper_omega_matches_table_three() {
+        let o = SystemConfig::paper_omega();
+        assert_eq!(o.machine.l2.capacity, 1024 * 1024);
+        assert_eq!(o.omega.unwrap().sp_bytes_per_core, 1024 * 1024);
+        assert_eq!(o.omega.unwrap().sp_latency, 3);
+    }
+}

@@ -1,0 +1,297 @@
+//! One-call experiment execution: functional run → trace → lowering →
+//! timing replay → report.
+//!
+//! [`run`] is the entry point used by the figure harness, the examples,
+//! and the integration tests. It executes an algorithm functionally under
+//! the tracing framework, lowers the trace for the requested machine, and
+//! replays it cycle-accurately, returning a [`RunReport`] with the
+//! functional checksum (identical across machines — the architecture must
+//! not change results) and all timing/memory statistics.
+
+use crate::config::SystemConfig;
+use crate::layout::Layout;
+use crate::lower::{lower, Target};
+use crate::machine::OmegaMemory;
+use omega_graph::CsrGraph;
+use omega_ligra::algorithms::Algo;
+use omega_ligra::trace::{CollectingTracer, RawTrace, TraceMeta};
+use omega_ligra::{Ctx, ExecConfig};
+use omega_sim::hierarchy::CacheHierarchy;
+use omega_sim::stats::MemStats;
+use omega_sim::{engine, EngineReport};
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to execute one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// The machine (baseline or OMEGA).
+    pub system: SystemConfig,
+    /// Framework execution parameters (cores, chunking, compute weights).
+    pub exec: ExecConfigSer,
+}
+
+/// Serialisable mirror of [`ExecConfig`] (which lives in `omega-ligra` and
+/// stays serde-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct ExecConfigSer {
+    pub n_cores: usize,
+    pub chunk_size: usize,
+    pub dense_threshold_div: u64,
+    pub compute_per_edge_x100: u32,
+    pub compute_per_vertex_x100: u32,
+}
+
+impl From<ExecConfig> for ExecConfigSer {
+    fn from(e: ExecConfig) -> Self {
+        ExecConfigSer {
+            n_cores: e.n_cores,
+            chunk_size: e.chunk_size,
+            dense_threshold_div: e.dense_threshold_div,
+            compute_per_edge_x100: e.compute_per_edge_x100,
+            compute_per_vertex_x100: e.compute_per_vertex_x100,
+        }
+    }
+}
+
+impl From<ExecConfigSer> for ExecConfig {
+    fn from(e: ExecConfigSer) -> Self {
+        ExecConfig {
+            n_cores: e.n_cores,
+            chunk_size: e.chunk_size,
+            dense_threshold_div: e.dense_threshold_div,
+            compute_per_edge_x100: e.compute_per_edge_x100,
+            compute_per_vertex_x100: e.compute_per_vertex_x100,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A run configuration with framework defaults, matched to the
+    /// machine's core count.
+    pub fn new(system: SystemConfig) -> Self {
+        let exec = ExecConfig {
+            n_cores: system.machine.core.n_cores,
+            ..ExecConfig::default()
+        };
+        RunConfig {
+            system,
+            exec: exec.into(),
+        }
+    }
+
+    /// Overrides the framework's OpenMP-style chunk size (the §V.D chunk
+    /// ablation changes only the scratchpad mapping side, this changes the
+    /// scheduling side).
+    pub fn with_chunk_size(mut self, chunk: usize) -> Self {
+        self.exec.chunk_size = chunk;
+        self
+    }
+}
+
+/// The result of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Algorithm name.
+    pub algo: String,
+    /// Machine label ("baseline" / "omega").
+    pub machine: String,
+    /// Deterministic functional result summary (machine-independent).
+    pub checksum: f64,
+    /// Total simulated cycles.
+    pub total_cycles: u64,
+    /// Engine-side cycle attribution.
+    pub engine: EngineReport,
+    /// Memory-system statistics.
+    pub mem: MemStats,
+    /// Number of scratchpad-resident vertices (0 on the baseline).
+    pub hot_count: u32,
+    /// Vertices in the graph.
+    pub n_vertices: u64,
+    /// Stored arcs in the graph.
+    pub n_arcs: u64,
+}
+
+impl RunReport {
+    /// Speedup of this run relative to `other` (`other` is the baseline).
+    pub fn speedup_over(&self, other: &RunReport) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        other.total_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// DRAM bandwidth utilisation over the run (Fig. 16 metric).
+    pub fn dram_utilization(&self, system: &SystemConfig) -> f64 {
+        self.mem
+            .dram
+            .utilization(self.total_cycles, system.machine.dram.channels)
+    }
+}
+
+/// Runs `algo` on `g` functionally, collecting the trace (shared step of
+/// every experiment). Returns `(checksum, raw trace, meta)`.
+pub fn trace_algorithm(g: &CsrGraph, algo: Algo, exec: &ExecConfig) -> (f64, RawTrace, TraceMeta) {
+    let mut tracer = CollectingTracer::new(exec.n_cores);
+    let mut ctx = Ctx::new(*exec, &mut tracer);
+    let output = algo.run(g, &mut ctx);
+    let meta = ctx.meta_for(g.num_vertices() as u64, g.num_arcs(), g.is_weighted());
+    (output.checksum(), tracer.finish(), meta)
+}
+
+/// Replays an already-collected trace on a machine. Used directly by the
+/// harness to reuse one functional run across many machine configurations.
+pub fn replay(
+    raw: &RawTrace,
+    meta: &TraceMeta,
+    system: &SystemConfig,
+) -> (EngineReport, MemStats, u32) {
+    let layout = Layout::new(meta);
+    if system.is_omega() {
+        let mut mem = OmegaMemory::new(system, layout.clone(), meta);
+        let hot = mem.hot_count();
+        let traces = lower(raw, &layout, Target::Omega { hot_count: hot });
+        let report = engine::run(traces, &mut mem, &system.machine);
+        let stats = mem.stats();
+        (report, stats, hot)
+    } else if let Some(budget) = system.locked_cache_bytes {
+        let (mut mem, _pinned) =
+            crate::locked::locked_cache_memory(&system.machine, &layout, meta, budget);
+        let traces = lower(raw, &layout, Target::Baseline);
+        let report = engine::run(traces, &mut mem, &system.machine);
+        let stats = mem.stats();
+        (report, stats, 0)
+    } else {
+        let mut mem = CacheHierarchy::new(&system.machine);
+        let traces = lower(raw, &layout, Target::Baseline);
+        let report = engine::run(traces, &mut mem, &system.machine);
+        let stats = mem.stats();
+        (report, stats, 0)
+    }
+}
+
+/// Runs `algo` on `g` under `cfg` end to end.
+pub fn run(g: &CsrGraph, algo: Algo, cfg: &RunConfig) -> RunReport {
+    let exec: ExecConfig = cfg.exec.into();
+    let (checksum, raw, meta) = trace_algorithm(g, algo, &exec);
+    let (engine_report, mem, hot) = replay(&raw, &meta, &cfg.system);
+    RunReport {
+        algo: algo.name().to_string(),
+        machine: cfg.system.label().to_string(),
+        checksum,
+        total_cycles: engine_report.total_cycles,
+        engine: engine_report,
+        mem,
+        hot_count: hot,
+        n_vertices: g.num_vertices() as u64,
+        n_arcs: g.num_arcs(),
+    }
+}
+
+/// Convenience: runs `algo` on both the baseline and the OMEGA machine
+/// (sharing one functional trace) and returns `(baseline, omega)`.
+pub fn run_pair(
+    g: &CsrGraph,
+    algo: Algo,
+    baseline: &SystemConfig,
+    omega: &SystemConfig,
+) -> (RunReport, RunReport) {
+    let exec = ExecConfig {
+        n_cores: baseline.machine.core.n_cores,
+        ..ExecConfig::default()
+    };
+    let (checksum, raw, meta) = trace_algorithm(g, algo, &exec);
+    let make = |system: &SystemConfig| {
+        let (engine_report, mem, hot) = replay(&raw, &meta, system);
+        RunReport {
+            algo: algo.name().to_string(),
+            machine: system.label().to_string(),
+            checksum,
+            total_cycles: engine_report.total_cycles,
+            engine: engine_report,
+            mem,
+            hot_count: hot,
+            n_vertices: g.num_vertices() as u64,
+            n_arcs: g.num_arcs(),
+        }
+    };
+    (make(baseline), make(omega))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_graph::datasets::{Dataset, DatasetScale};
+    use omega_ligra::algorithms::Algo;
+
+    #[test]
+    fn baseline_and_omega_compute_identical_results() {
+        let g = Dataset::Sd.build(DatasetScale::Tiny).unwrap();
+        let algo = Algo::PageRank { iters: 1 };
+        let (base, omega) = run_pair(
+            &g,
+            algo,
+            &SystemConfig::mini_baseline(),
+            &SystemConfig::mini_omega(),
+        );
+        assert_eq!(base.checksum, omega.checksum);
+        assert!(base.total_cycles > 0);
+        assert!(omega.total_cycles > 0);
+    }
+
+    #[test]
+    fn omega_speeds_up_pagerank_on_a_natural_graph() {
+        let g = Dataset::Sd.build(DatasetScale::Tiny).unwrap();
+        let algo = Algo::PageRank { iters: 1 };
+        let (base, omega) = run_pair(
+            &g,
+            algo,
+            &SystemConfig::mini_baseline(),
+            &SystemConfig::mini_omega(),
+        );
+        let speedup = omega.speedup_over(&base);
+        assert!(speedup > 1.2, "expected a clear win, got {speedup:.2}x");
+    }
+
+    #[test]
+    fn omega_uses_scratchpads_baseline_does_not() {
+        let g = Dataset::Sd.build(DatasetScale::Tiny).unwrap();
+        let algo = Algo::Bfs { root: 0 }.with_default_root(&g);
+        let (base, omega) = run_pair(
+            &g,
+            algo,
+            &SystemConfig::mini_baseline(),
+            &SystemConfig::mini_omega(),
+        );
+        assert_eq!(base.mem.scratchpad.accesses(), 0);
+        assert!(omega.mem.scratchpad.accesses() > 0);
+        assert_eq!(base.hot_count, 0);
+        assert!(omega.hot_count > 0);
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let g = Dataset::Ap.build(DatasetScale::Tiny).unwrap();
+        let cfg = RunConfig::new(SystemConfig::mini_omega());
+        let a = run(&g, Algo::Cc, &cfg);
+        let b = run(&g, Algo::Cc, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn omega_reduces_onchip_traffic_for_pagerank() {
+        let g = Dataset::Sd.build(DatasetScale::Tiny).unwrap();
+        let (base, omega) = run_pair(
+            &g,
+            Algo::PageRank { iters: 1 },
+            &SystemConfig::mini_baseline(),
+            &SystemConfig::mini_omega(),
+        );
+        assert!(
+            omega.mem.noc.bytes < base.mem.noc.bytes,
+            "word-granularity packets must cut traffic: {} vs {}",
+            omega.mem.noc.bytes,
+            base.mem.noc.bytes
+        );
+    }
+}

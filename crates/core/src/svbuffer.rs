@@ -1,0 +1,154 @@
+//! The source-vertex buffer (§V.C, Fig. 11).
+//!
+//! Many algorithms read a source vertex's property once per outgoing edge
+//! (SSSP's `ShortestLen[s]`, PageRank's `curr[u]`, CC's label). When the
+//! source is resident in a *remote* scratchpad, every such read would cross
+//! the crossbar (≈17 cycles). The source-vertex buffer is a small,
+//! read-only, per-core structure caching these values. Because Ligra never
+//! updates a source property within an iteration, no coherence is needed:
+//! all entries are invalidated at each barrier.
+
+use omega_sim::Cycle;
+
+/// A per-core source-vertex buffer: small, fully associative, FIFO
+/// replacement, read-only.
+///
+/// # Example
+///
+/// ```
+/// use omega_core::svbuffer::SourceVertexBuffer;
+///
+/// let mut svb = SourceVertexBuffer::new(32);
+/// assert!(!svb.lookup(0x1000));   // first read of a source: miss
+/// svb.insert(0x1000);             // remote fill caches it
+/// assert!(svb.lookup(0x1000));    // later edges of the same source: hit
+/// svb.invalidate_all(500);        // barrier at end of the iteration
+/// assert!(!svb.lookup(0x1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SourceVertexBuffer {
+    entries: Vec<u64>,
+    capacity: usize,
+    next_victim: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl SourceVertexBuffer {
+    /// Creates a buffer with room for `capacity` entries (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        SourceVertexBuffer {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            next_victim: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the word at `addr`; records a hit or miss.
+    pub fn lookup(&mut self, addr: u64) -> bool {
+        if self.entries.contains(&addr) {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts the word at `addr` after a successful remote read (no-op if
+    /// already present or capacity is zero).
+    pub fn insert(&mut self, addr: u64) {
+        if self.capacity == 0 || self.entries.contains(&addr) {
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(addr);
+        } else {
+            self.entries[self.next_victim] = addr;
+            self.next_victim = (self.next_victim + 1) % self.capacity;
+        }
+    }
+
+    /// Invalidates every entry (called at each barrier, `_now` for
+    /// symmetry with the other components).
+    pub fn invalidate_all(&mut self, _now: Cycle) {
+        self.entries.clear();
+        self.next_victim = 0;
+    }
+
+    /// Hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut b = SourceVertexBuffer::new(4);
+        assert!(!b.lookup(0x10));
+        b.insert(0x10);
+        assert!(b.lookup(0x10));
+        assert_eq!(b.hits(), 1);
+        assert_eq!(b.misses(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut b = SourceVertexBuffer::new(2);
+        b.insert(1);
+        b.insert(2);
+        b.insert(3); // evicts 1
+        assert!(!b.lookup(1));
+        assert!(b.lookup(2));
+        assert!(b.lookup(3));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn barrier_invalidates_everything() {
+        let mut b = SourceVertexBuffer::new(4);
+        b.insert(1);
+        b.insert(2);
+        b.invalidate_all(100);
+        assert!(b.is_empty());
+        assert!(!b.lookup(1));
+    }
+
+    #[test]
+    fn zero_capacity_buffer_never_caches() {
+        let mut b = SourceVertexBuffer::new(0);
+        b.insert(1);
+        assert!(!b.lookup(1));
+    }
+
+    #[test]
+    fn duplicate_inserts_do_not_duplicate() {
+        let mut b = SourceVertexBuffer::new(2);
+        b.insert(1);
+        b.insert(1);
+        b.insert(2);
+        assert!(b.lookup(1));
+        assert!(b.lookup(2));
+    }
+}

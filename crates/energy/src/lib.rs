@@ -1,0 +1,27 @@
+//! # omega-energy
+//!
+//! Analytical area, peak-power, and energy models for the OMEGA
+//! reproduction — the stand-in for the paper's McPAT (cores), Cacti
+//! (caches/scratchpads), and IBM 45 nm synthesis (PISC) toolchain (§X.B).
+//!
+//! Component constants are *calibrated to the paper's own Table IV*, which
+//! publishes per-core area and peak power for every component of both the
+//! baseline CMP node and the OMEGA node at 45 nm. Linear capacity scaling
+//! (with a fixed periphery term, Cacti-style) connects the two published
+//! cache points (2 MB and 1 MB), and the scratchpad's tag-less advantage
+//! falls out of its separate constants — reproducing the paper's
+//! observation that the OMEGA node is slightly *smaller* (−2.31%) at
+//! slightly higher peak power (+0.65%).
+//!
+//! Per-access energies feed Fig. 21 (memory-system energy breakdown):
+//! dynamic energy = activity counts × per-access cost, plus leakage =
+//! component power share × runtime.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod energy;
+
+pub use area::{node_table, AreaPower, NodeTable};
+pub use energy::{energy_breakdown, EnergyBreakdown};

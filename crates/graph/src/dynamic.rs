@@ -1,0 +1,331 @@
+//! Dynamic graphs (§IX "Dynamic graphs" — deferred by the paper to future
+//! work, implemented here as an extension).
+//!
+//! OMEGA's benefit rests on the hot 20% of vertices being identified ahead
+//! of time. As edges arrive, the true hot set drifts away from the
+//! configured one. [`DynamicGraph`] ingests edge insertions/deletions,
+//! tracks residual in-degrees, and quantifies the drift: the
+//! [`hot_set_coverage`](DynamicGraph::hot_set_coverage) of the *originally
+//! configured* hot prefix versus the coverage an oracle re-identification
+//! would achieve. When drift exceeds a threshold, the framework would
+//! re-run the §VI n-th-element reordering;
+//! [`DynamicGraph::needs_reorder`] encapsulates that trigger, and
+//! [`DynamicGraph::snapshot`] materialises a fresh CSR (re-reordered via
+//! `reorder::canonical_hot_order`) for the next processing phase.
+
+use crate::{reorder, CsrGraph, GraphBuilder, GraphError, VertexId};
+use std::collections::HashSet;
+
+/// An evolving graph with incremental hot-set quality tracking.
+///
+/// # Example
+///
+/// ```
+/// use omega_graph::dynamic::DynamicGraph;
+/// use omega_graph::{generators, reorder};
+///
+/// let g = generators::rmat(8, 8, generators::RmatParams::default(), 1)?;
+/// let (g, _) = reorder::canonical_hot_order(&g);
+/// let mut live = DynamicGraph::from_graph(&g, g.num_vertices() / 5);
+/// assert!(live.drift() < 1e-9); // freshly reordered
+/// live.insert_edge(0, (g.num_vertices() - 1) as u32)?;
+/// assert!(live.hot_set_coverage() > 0.0);
+/// # Ok::<(), omega_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicGraph {
+    n: usize,
+    directed: bool,
+    edges: HashSet<(VertexId, VertexId)>,
+    in_degree: Vec<u64>,
+    /// Hot prefix size configured at the last reorder.
+    hot_count: usize,
+    /// In-degree mass inside the configured hot prefix.
+    hot_mass: u64,
+    total_mass: u64,
+}
+
+impl DynamicGraph {
+    /// Starts from an existing graph (assumed already in canonical hot
+    /// order) with a configured hot prefix of `hot_count` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hot_count > g.num_vertices()`.
+    pub fn from_graph(g: &CsrGraph, hot_count: usize) -> Self {
+        assert!(
+            hot_count <= g.num_vertices(),
+            "hot prefix larger than the graph"
+        );
+        let n = g.num_vertices();
+        let mut edges = HashSet::new();
+        for (u, v) in g.arcs() {
+            if g.is_directed() || u <= v {
+                edges.insert((u, v));
+            }
+        }
+        let in_degree: Vec<u64> = (0..n as VertexId).map(|v| g.in_degree(v) as u64).collect();
+        let hot_mass = in_degree[..hot_count].iter().sum();
+        let total_mass = in_degree.iter().sum();
+        DynamicGraph {
+            n,
+            directed: g.is_directed(),
+            edges,
+            in_degree,
+            hot_count,
+            hot_mass,
+            total_mass,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Inserts an edge; returns `false` if it already existed. Self-loops
+    /// are ignored (returning `false`), matching [`crate::GraphBuilder`]'s
+    /// default behaviour so [`DynamicGraph::materialize`] and the
+    /// incremental bookkeeping always agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] for out-of-range endpoints.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool, GraphError> {
+        self.check(u)?;
+        self.check(v)?;
+        if u == v {
+            return Ok(false);
+        }
+        let key = self.key(u, v);
+        if !self.edges.insert(key) {
+            return Ok(false);
+        }
+        self.bump(v, 1);
+        if !self.directed && u != v {
+            self.bump(u, 1);
+        }
+        Ok(true)
+    }
+
+    /// Removes an edge; returns `false` if it was absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] for out-of-range endpoints.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool, GraphError> {
+        self.check(u)?;
+        self.check(v)?;
+        if u == v {
+            return Ok(false);
+        }
+        let key = self.key(u, v);
+        if !self.edges.remove(&key) {
+            return Ok(false);
+        }
+        self.bump(v, -1);
+        if !self.directed && u != v {
+            self.bump(u, -1);
+        }
+        Ok(true)
+    }
+
+    fn key(&self, u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+        if self.directed || u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    fn check(&self, v: VertexId) -> Result<(), GraphError> {
+        if (v as usize) < self.n {
+            Ok(())
+        } else {
+            Err(GraphError::VertexOutOfRange {
+                vertex: v as u64,
+                n: self.n,
+            })
+        }
+    }
+
+    fn bump(&mut self, v: VertexId, delta: i64) {
+        let d = &mut self.in_degree[v as usize];
+        *d = d.saturating_add_signed(delta);
+        self.total_mass = self.total_mass.saturating_add_signed(delta);
+        if (v as usize) < self.hot_count {
+            self.hot_mass = self.hot_mass.saturating_add_signed(delta);
+        }
+    }
+
+    /// Fraction of in-degree mass still covered by the *configured* hot
+    /// prefix (what OMEGA's scratchpads actually serve right now).
+    pub fn hot_set_coverage(&self) -> f64 {
+        if self.total_mass == 0 {
+            0.0
+        } else {
+            self.hot_mass as f64 / self.total_mass as f64
+        }
+    }
+
+    /// Coverage an oracle re-identification of the hottest `hot_count`
+    /// vertices would achieve. `O(n log n)`.
+    pub fn oracle_coverage(&self) -> f64 {
+        if self.total_mass == 0 {
+            return 0.0;
+        }
+        let mut degrees = self.in_degree.clone();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let best: u64 = degrees[..self.hot_count.min(degrees.len())].iter().sum();
+        best as f64 / self.total_mass as f64
+    }
+
+    /// Coverage lost to drift, in absolute percentage points.
+    pub fn drift(&self) -> f64 {
+        (self.oracle_coverage() - self.hot_set_coverage()).max(0.0)
+    }
+
+    /// Whether re-running the §VI reordering is worthwhile: the configured
+    /// hot set has drifted more than `threshold` coverage away from the
+    /// oracle (the paper suggests periodic re-identification "as long as
+    /// the high-level framework supports it").
+    pub fn needs_reorder(&self, threshold: f64) -> bool {
+        self.drift() > threshold
+    }
+
+    /// Materialises the current edge set as a CSR graph in the *current*
+    /// vertex ordering, without reordering — what the machine would keep
+    /// processing if no maintenance ran.
+    pub fn materialize(&self) -> CsrGraph {
+        let mut b = if self.directed {
+            GraphBuilder::directed(self.n)
+        } else {
+            GraphBuilder::undirected(self.n)
+        };
+        for &(u, v) in &self.edges {
+            b.add_edge(u, v).expect("tracked edges are in range");
+        }
+        b.build()
+    }
+
+    /// Materialises the current edge set as a CSR graph in canonical hot
+    /// order, resetting the drift to zero. Returns the graph and the
+    /// permutation (old id → new id), so vertex state can be migrated.
+    pub fn snapshot(&mut self) -> (CsrGraph, reorder::Permutation) {
+        let g = self.materialize();
+        let (rg, perm) = reorder::canonical_hot_order(&g);
+        // Re-base the tracker onto the new ordering.
+        *self = DynamicGraph::from_graph(&rg, self.hot_count);
+        (rg, perm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn tracked() -> DynamicGraph {
+        let g = generators::rmat(8, 8, generators::RmatParams::default(), 3).unwrap();
+        let (g, _) = reorder::canonical_hot_order(&g);
+        let hot = g.num_vertices() / 5;
+        DynamicGraph::from_graph(&g, hot)
+    }
+
+    #[test]
+    fn fresh_tracker_has_no_drift() {
+        let d = tracked();
+        assert!(
+            d.drift() < 1e-9,
+            "drift {} on a just-reordered graph",
+            d.drift()
+        );
+        assert!(!d.needs_reorder(0.01));
+    }
+
+    #[test]
+    fn insertions_to_cold_vertices_create_drift() {
+        let mut d = tracked();
+        let n = d.num_vertices() as VertexId;
+        // Pile new edges onto the coldest vertex, making it a hidden hub.
+        let target = n - 1;
+        for u in 0..n - 1 {
+            d.insert_edge(u, target).unwrap();
+        }
+        assert!(d.drift() > 0.01, "drift {}", d.drift());
+        assert!(d.needs_reorder(0.01));
+    }
+
+    #[test]
+    fn snapshot_restores_coverage() {
+        let mut d = tracked();
+        let n = d.num_vertices() as VertexId;
+        for u in 0..n - 1 {
+            d.insert_edge(u, n - 1).unwrap();
+        }
+        let before = d.hot_set_coverage();
+        let (g, _) = d.snapshot();
+        assert_eq!(g.num_vertices(), d.num_vertices());
+        assert!(d.drift() < 1e-9, "snapshot must re-identify the hot set");
+        assert!(d.hot_set_coverage() >= before);
+    }
+
+    #[test]
+    fn materialize_preserves_current_ordering() {
+        let mut d = tracked();
+        d.insert_edge(0, 1).unwrap();
+        let g = d.materialize();
+        assert_eq!(g.num_edges() as usize, d.num_edges());
+        // Materialising does not reset drift bookkeeping.
+        let before = d.hot_set_coverage();
+        let _ = d.materialize();
+        assert_eq!(d.hot_set_coverage(), before);
+    }
+
+    #[test]
+    fn duplicate_inserts_and_missing_removals_are_noops() {
+        let mut d = tracked();
+        let fresh = d
+            .insert_edge(0, 1)
+            .and_then(|first| d.insert_edge(0, 1).map(|second| (first, second)))
+            .unwrap();
+        assert!(!fresh.1, "second insert must report duplicate");
+        assert!(d.remove_edge(0, 1).unwrap());
+        assert!(!d.remove_edge(0, 1).unwrap());
+    }
+
+    #[test]
+    fn removals_reduce_hot_mass() {
+        let g = generators::star(50).unwrap();
+        let mut d = DynamicGraph::from_graph(&g, 1);
+        let before = d.hot_set_coverage();
+        for v in 1..25 {
+            d.remove_edge(0, v).unwrap();
+        }
+        assert!(d.hot_set_coverage() <= before);
+    }
+
+    #[test]
+    fn out_of_range_edges_error() {
+        let mut d = tracked();
+        let n = d.num_vertices() as VertexId;
+        assert!(d.insert_edge(0, n).is_err());
+        assert!(d.remove_edge(n, 0).is_err());
+    }
+
+    #[test]
+    fn undirected_tracking_is_symmetric() {
+        let g = generators::star(10).unwrap();
+        let mut d = DynamicGraph::from_graph(&g, 2);
+        d.insert_edge(5, 6).unwrap();
+        assert!(
+            !d.insert_edge(6, 5).unwrap(),
+            "reverse of an undirected edge is the same edge"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Errors produced while constructing, generating, or loading graphs.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge referenced a vertex id `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// A generator or builder was asked for an impossible configuration.
+    InvalidParameter(String),
+    /// A permutation passed to [`crate::reorder`] was not a bijection on `0..n`.
+    InvalidPermutation(String),
+    /// An I/O error while reading or writing a graph file.
+    Io(std::io::Error),
+    /// A parse error in a graph file, with 1-based line number.
+    Parse {
+        /// Line at which parsing failed.
+        line: usize,
+        /// What was wrong with the line.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(
+                    f,
+                    "vertex id {vertex} out of range for graph with {n} vertices"
+                )
+            }
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, n: 4 };
+        let s = e.to_string();
+        assert!(s.contains("9") && s.contains("4"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = GraphError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

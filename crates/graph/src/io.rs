@@ -1,0 +1,436 @@
+//! Graph readers and writers.
+//!
+//! Two formats are supported:
+//!
+//! * **Edge-list text** — one `u v [w]` triple per line, `#`-prefixed
+//!   comments, the format used by SNAP dumps (the paper's \[22\]).
+//! * **Binary CSR** — a little-endian dump of the CSR arrays with a magic
+//!   header, for fast reload of generated datasets.
+
+use crate::{CsrGraph, GraphBuilder, GraphError, VertexId, Weight};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Reads a SNAP-style edge-list from `reader`.
+///
+/// Lines starting with `#` or `%` are comments. Each data line holds
+/// `src dst` or `src dst weight` separated by whitespace. `n` is taken as
+/// `max id + 1` unless `min_vertices` is larger.
+///
+/// Note that a `&mut R` can be passed as `reader` thanks to the blanket
+/// `Read for &mut R` impl.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] (with a 1-based line number) on malformed
+/// lines and [`GraphError::Io`] on read failures.
+///
+/// # Example
+///
+/// ```
+/// use omega_graph::io::read_edge_list;
+/// let text = "# tiny\n0 1\n1 2\n2 0\n";
+/// let g = read_edge_list(text.as_bytes(), true, 0)?;
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// # Ok::<(), omega_graph::GraphError>(())
+/// ```
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    directed: bool,
+    min_vertices: usize,
+) -> Result<CsrGraph, GraphError> {
+    let buf = BufReader::new(reader);
+    let mut edges: Vec<(u64, u64, Weight)> = Vec::new();
+    let mut weighted = false;
+    let mut max_id: u64 = 0;
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> Result<u64, GraphError> {
+            let tok = tok.ok_or_else(|| GraphError::Parse {
+                line: idx + 1,
+                message: format!("missing {what}"),
+            })?;
+            tok.parse::<u64>().map_err(|_| GraphError::Parse {
+                line: idx + 1,
+                message: format!("invalid {what} `{tok}`"),
+            })
+        };
+        let u = parse(it.next(), "source vertex")?;
+        let v = parse(it.next(), "destination vertex")?;
+        let w = match it.next() {
+            Some(tok) => {
+                weighted = true;
+                tok.parse::<Weight>().map_err(|_| GraphError::Parse {
+                    line: idx + 1,
+                    message: format!("invalid weight `{tok}`"),
+                })?
+            }
+            None => 1,
+        };
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v, w));
+    }
+    let n = if edges.is_empty() {
+        min_vertices
+    } else {
+        (max_id as usize + 1).max(min_vertices)
+    };
+    if n > u32::MAX as usize {
+        return Err(GraphError::InvalidParameter(format!(
+            "{n} vertices exceed u32 id space"
+        )));
+    }
+    let mut b = if directed {
+        GraphBuilder::directed(n)
+    } else {
+        GraphBuilder::undirected(n)
+    };
+    for (u, v, w) in edges {
+        if weighted {
+            b.add_weighted_edge(u as VertexId, v as VertexId, w)?;
+        } else {
+            b.add_edge(u as VertexId, v as VertexId)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Writes `g` as an edge-list (`src dst [weight]` per line, with a comment
+/// header). Undirected graphs emit each edge once (`u <= v`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failures.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# omega-graph edge list: {} vertices, {} edges, {}",
+        g.num_vertices(),
+        g.num_edges(),
+        if g.is_directed() {
+            "directed"
+        } else {
+            "undirected"
+        }
+    )?;
+    for u in 0..g.num_vertices() as VertexId {
+        for (v, wt) in g.out_neighbors_weighted(u) {
+            if !g.is_directed() && v < u {
+                continue;
+            }
+            if g.is_weighted() {
+                writeln!(w, "{u} {v} {wt}")?;
+            } else {
+                writeln!(w, "{u} {v}")?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph in the 9th DIMACS Implementation Challenge shortest-path
+/// format — the source of the paper's Western-USA dataset (`[1]` in its
+/// references). Lines: `c` comments, one `p sp <n> <m>` problem line, and
+/// `a <src> <dst> <weight>` arcs with **1-based** vertex ids.
+///
+/// The challenge distributes road networks as directed arc pairs; pass
+/// `directed = false` to fold them into undirected edges as the paper's
+/// framework does.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed lines, missing problem
+/// lines, or out-of-range ids, and [`GraphError::Io`] on read failures.
+///
+/// # Example
+///
+/// ```
+/// use omega_graph::io::read_dimacs;
+/// let text = "c tiny road net\np sp 3 4\na 1 2 7\na 2 1 7\na 2 3 9\na 3 2 9\n";
+/// let g = read_dimacs(text.as_bytes(), false)?;
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// assert!(g.is_weighted());
+/// # Ok::<(), omega_graph::GraphError>(())
+/// ```
+pub fn read_dimacs<R: Read>(reader: R, directed: bool) -> Result<CsrGraph, GraphError> {
+    let buf = BufReader::new(reader);
+    let mut builder: Option<GraphBuilder> = None;
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        let mut it = line.split_whitespace();
+        match it.next() {
+            None | Some("c") => continue,
+            Some("p") => {
+                if builder.is_some() {
+                    return Err(GraphError::Parse {
+                        line: idx + 1,
+                        message: "duplicate problem line".into(),
+                    });
+                }
+                let kind = it.next().unwrap_or("");
+                if kind != "sp" {
+                    return Err(GraphError::Parse {
+                        line: idx + 1,
+                        message: format!("unsupported problem kind `{kind}` (expected `sp`)"),
+                    });
+                }
+                let n: usize = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| GraphError::Parse {
+                        line: idx + 1,
+                        message: "missing vertex count".into(),
+                    })?;
+                builder = Some(if directed {
+                    GraphBuilder::directed(n)
+                } else {
+                    GraphBuilder::undirected(n)
+                });
+            }
+            Some("a") => {
+                let b = builder.as_mut().ok_or_else(|| GraphError::Parse {
+                    line: idx + 1,
+                    message: "arc before problem line".into(),
+                })?;
+                let mut field = |what: &str| -> Result<u64, GraphError> {
+                    it.next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| GraphError::Parse {
+                            line: idx + 1,
+                            message: format!("missing or invalid {what}"),
+                        })
+                };
+                let u = field("source")?;
+                let v = field("destination")?;
+                let w = field("weight")? as Weight;
+                if u == 0 || v == 0 {
+                    return Err(GraphError::Parse {
+                        line: idx + 1,
+                        message: "DIMACS ids are 1-based; found 0".into(),
+                    });
+                }
+                b.add_weighted_edge((u - 1) as VertexId, (v - 1) as VertexId, w)?;
+            }
+            Some(other) => {
+                return Err(GraphError::Parse {
+                    line: idx + 1,
+                    message: format!("unknown record `{other}`"),
+                })
+            }
+        }
+    }
+    match builder {
+        Some(b) => Ok(b.build()),
+        None => Err(GraphError::Parse { line: 0, message: "missing problem line".into() }),
+    }
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"OMEGAGR1";
+
+/// Serialises `g` in the binary CSR format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failures.
+pub fn write_binary<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    let (n, m, directed, out_off, out_dst, out_wt, in_off, in_src, in_wt) = g.clone().into_parts();
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(n as u64).to_le_bytes())?;
+    w.write_all(&m.to_le_bytes())?;
+    w.write_all(&[directed as u8, out_wt.is_some() as u8])?;
+    let write_u64s = |w: &mut BufWriter<W>, xs: &[u64]| -> std::io::Result<()> {
+        w.write_all(&(xs.len() as u64).to_le_bytes())?;
+        for x in xs {
+            w.write_all(&x.to_le_bytes())?;
+        }
+        Ok(())
+    };
+    let write_u32s = |w: &mut BufWriter<W>, xs: &[u32]| -> std::io::Result<()> {
+        w.write_all(&(xs.len() as u64).to_le_bytes())?;
+        for x in xs {
+            w.write_all(&x.to_le_bytes())?;
+        }
+        Ok(())
+    };
+    write_u64s(&mut w, &out_off)?;
+    write_u32s(&mut w, &out_dst)?;
+    write_u32s(&mut w, out_wt.as_deref().unwrap_or(&[]))?;
+    write_u64s(&mut w, &in_off)?;
+    write_u32s(&mut w, &in_src)?;
+    write_u32s(&mut w, in_wt.as_deref().unwrap_or(&[]))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph previously written by [`write_binary`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] if the magic header or structure is
+/// invalid, [`GraphError::Io`] on read failures.
+pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "bad magic header".into(),
+        });
+    }
+    let mut u64buf = [0u8; 8];
+    let mut read_u64 = |r: &mut BufReader<R>| -> Result<u64, GraphError> {
+        r.read_exact(&mut u64buf)?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)?;
+    let mut flags = [0u8; 2];
+    r.read_exact(&mut flags)?;
+    let directed = flags[0] != 0;
+    let weighted = flags[1] != 0;
+    let read_u64s = |r: &mut BufReader<R>| -> Result<Vec<u64>, GraphError> {
+        let mut lenbuf = [0u8; 8];
+        r.read_exact(&mut lenbuf)?;
+        let len = u64::from_le_bytes(lenbuf) as usize;
+        let mut out = Vec::with_capacity(len);
+        let mut b = [0u8; 8];
+        for _ in 0..len {
+            r.read_exact(&mut b)?;
+            out.push(u64::from_le_bytes(b));
+        }
+        Ok(out)
+    };
+    let read_u32s = |r: &mut BufReader<R>| -> Result<Vec<u32>, GraphError> {
+        let mut lenbuf = [0u8; 8];
+        r.read_exact(&mut lenbuf)?;
+        let len = u64::from_le_bytes(lenbuf) as usize;
+        let mut out = Vec::with_capacity(len);
+        let mut b = [0u8; 4];
+        for _ in 0..len {
+            r.read_exact(&mut b)?;
+            out.push(u32::from_le_bytes(b));
+        }
+        Ok(out)
+    };
+    let out_off = read_u64s(&mut r)?;
+    let out_dst = read_u32s(&mut r)?;
+    let out_wt = read_u32s(&mut r)?;
+    let in_off = read_u64s(&mut r)?;
+    let in_src = read_u32s(&mut r)?;
+    let in_wt = read_u32s(&mut r)?;
+    CsrGraph::from_parts(
+        n,
+        m,
+        directed,
+        out_off,
+        out_dst,
+        if weighted { Some(out_wt) } else { None },
+        in_off,
+        in_src,
+        if weighted { Some(in_wt) } else { None },
+    )
+    .map_err(|e| GraphError::Parse {
+        line: 0,
+        message: format!("corrupt binary graph: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_list_roundtrip_directed() {
+        let g = generators::rmat(6, 4, generators::RmatParams::default(), 5).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], true, g.num_vertices()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_roundtrip_undirected_weighted() {
+        let g = generators::grid_road(5, 5, 0.2, 30, 7).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], false, g.num_vertices()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        for g in [
+            generators::rmat(6, 4, generators::RmatParams::default(), 5).unwrap(),
+            generators::grid_road(5, 5, 0.2, 30, 7).unwrap(),
+            crate::GraphBuilder::directed(3).build(),
+        ] {
+            let mut buf = Vec::new();
+            write_binary(&g, &mut buf).unwrap();
+            let g2 = read_binary(&buf[..]).unwrap();
+            assert_eq!(g, g2);
+        }
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let r = read_edge_list("0 1\nnot numbers\n".as_bytes(), true, 0);
+        match r {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let g = read_edge_list("# c\n% c\n\n0 1\n".as_bytes(), true, 0).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn missing_destination_is_an_error() {
+        assert!(read_edge_list("0\n".as_bytes(), true, 0).is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let r = read_binary(&b"NOTMAGIC........."[..]);
+        assert!(matches!(r, Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn dimacs_roundtrip_semantics() {
+        let text = "c comment\np sp 4 4\na 1 2 5\na 2 1 5\na 3 4 9\na 4 3 9\n";
+        let g = read_dimacs(text.as_bytes(), false).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors_weighted(0).collect::<Vec<_>>(), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn dimacs_rejects_malformed_input() {
+        assert!(read_dimacs("a 1 2 3\n".as_bytes(), true).is_err(), "arc before p line");
+        assert!(read_dimacs("p sp 2 1\na 0 1 3\n".as_bytes(), true).is_err(), "0-based id");
+        assert!(read_dimacs("p max 2 1\n".as_bytes(), true).is_err(), "wrong kind");
+        assert!(read_dimacs("c only comments\n".as_bytes(), true).is_err(), "no p line");
+        assert!(read_dimacs("p sp 2 1\nx 1 2\n".as_bytes(), true).is_err(), "unknown record");
+    }
+
+    #[test]
+    fn min_vertices_pads_isolated_tail() {
+        let g = read_edge_list("0 1\n".as_bytes(), true, 10).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.out_degree(9), 0);
+    }
+}

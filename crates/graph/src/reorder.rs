@@ -1,0 +1,406 @@
+//! Offline vertex reordering (§III "Limitations of graph pre-processing" and
+//! §VI "Graph preprocessing" of the paper).
+//!
+//! OMEGA requires a *monotone popularity ordering*: after reordering, vertex
+//! 0 is the most connected, so the scratchpad hot set is simply the id range
+//! `0..hot_count`. The paper considers:
+//!
+//! 1. full in-degree sort (`O(v log v)`) — [`Reordering::InDegreeSort`]
+//! 2. sorting only the top 20% — [`Reordering::TopFractionSort`]
+//! 3. linear "n-th element" selection (chosen by the paper for its
+//!    negligible preprocessing cost) — [`Reordering::NthElement`]
+//!
+//! plus out-degree ordering and a SlashBurn-like hub ordering, both of which
+//! the paper evaluated and rejected; they are implemented here so the
+//! `abl-reorder` experiment can reproduce that comparison.
+
+use crate::{CsrGraph, GraphBuilder, GraphError, VertexId};
+
+/// A bijection `old id → new id` over the vertices of a graph.
+///
+/// Produced by [`compute_permutation`] and applied with [`apply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    forward: Vec<VertexId>, // forward[old] = new
+}
+
+impl Permutation {
+    /// Builds a permutation from a `forward[old] = new` map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidPermutation`] if the map is not a
+    /// bijection on `0..n`.
+    pub fn from_forward(forward: Vec<VertexId>) -> Result<Self, GraphError> {
+        let n = forward.len();
+        let mut seen = vec![false; n];
+        for &t in &forward {
+            let t = t as usize;
+            if t >= n {
+                return Err(GraphError::InvalidPermutation(format!(
+                    "target {t} out of range for {n} vertices"
+                )));
+            }
+            if seen[t] {
+                return Err(GraphError::InvalidPermutation(format!(
+                    "target {t} appears twice"
+                )));
+            }
+            seen[t] = true;
+        }
+        Ok(Permutation { forward })
+    }
+
+    /// The identity permutation on `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            forward: (0..n as VertexId).collect(),
+        }
+    }
+
+    /// New id of `old`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is out of range.
+    pub fn map(&self, old: VertexId) -> VertexId {
+        self.forward[old as usize]
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether the permutation covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// The inverse permutation (`new id → old id`).
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0 as VertexId; self.forward.len()];
+        for (old, &new) in self.forward.iter().enumerate() {
+            inv[new as usize] = old as VertexId;
+        }
+        Permutation { forward: inv }
+    }
+}
+
+/// The reordering algorithms evaluated in §VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Reordering {
+    /// No reordering.
+    Identity,
+    /// Full descending in-degree sort, `O(v log v)`.
+    InDegreeSort,
+    /// Full descending out-degree sort, `O(v log v)`.
+    OutDegreeSort,
+    /// Sort only the hottest `frac_permille/1000` of vertices to the front;
+    /// the tail keeps its relative order. (Paper variant 2, with 200‰ = 20%.)
+    TopFractionSort {
+        /// Hot fraction in permille (1/1000ths), e.g. 200 for 20%.
+        frac_permille: u32,
+    },
+    /// Linear-time selection: partition so the hottest `frac_permille/1000`
+    /// of vertices occupy ids `0..k` with no total order inside either side.
+    /// (Paper variant 3 — the one OMEGA uses.)
+    NthElement {
+        /// Hot fraction in permille (1/1000ths), e.g. 200 for 20%.
+        frac_permille: u32,
+    },
+    /// SlashBurn-like ordering: repeatedly peel the highest-degree hub to the
+    /// front. Approximates community-oriented orderings; the paper found it
+    /// *suboptimal* for OMEGA because it does not yield a monotone popularity
+    /// order past the first hubs.
+    SlashBurnLike {
+        /// Hubs peeled per iteration.
+        hubs_per_round: u32,
+    },
+}
+
+/// Computes the permutation a [`Reordering`] induces on `g`.
+///
+/// The returned permutation maps old ids to new ids such that, for the
+/// monotone orderings, new id 0 is the most popular vertex.
+pub fn compute_permutation(g: &CsrGraph, ordering: Reordering) -> Permutation {
+    let n = g.num_vertices();
+    match ordering {
+        Reordering::Identity => Permutation::identity(n),
+        Reordering::InDegreeSort => by_key_desc(n, |v| g.in_degree(v)),
+        Reordering::OutDegreeSort => by_key_desc(n, |v| g.out_degree(v)),
+        Reordering::TopFractionSort { frac_permille } => {
+            let k = frac_count(n, frac_permille);
+            let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+            // Select the hot set, sort it, keep the tail in id order.
+            ids.select_nth_unstable_by(k.saturating_sub(1).min(n.saturating_sub(1)), |&a, &b| {
+                g.in_degree(b).cmp(&g.in_degree(a)).then(a.cmp(&b))
+            });
+            let mut hot = ids;
+            let mut tail = hot.split_off(k.min(hot.len()));
+            hot.sort_unstable_by(|&a, &b| g.in_degree(b).cmp(&g.in_degree(a)).then(a.cmp(&b)));
+            tail.sort_unstable();
+            order_to_permutation(n, hot.into_iter().chain(tail))
+        }
+        Reordering::NthElement { frac_permille } => {
+            let k = frac_count(n, frac_permille);
+            if n == 0 || k == 0 {
+                return Permutation::identity(n);
+            }
+            let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+            ids.select_nth_unstable_by(k.saturating_sub(1).min(n - 1), |&a, &b| {
+                g.in_degree(b).cmp(&g.in_degree(a)).then(a.cmp(&b))
+            });
+            order_to_permutation(n, ids.into_iter())
+        }
+        Reordering::SlashBurnLike { hubs_per_round } => slashburn_like(g, hubs_per_round.max(1)),
+    }
+}
+
+fn frac_count(n: usize, frac_permille: u32) -> usize {
+    ((n as u64 * frac_permille as u64).div_ceil(1000)) as usize
+}
+
+fn by_key_desc(n: usize, key: impl Fn(VertexId) -> u32) -> Permutation {
+    let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+    ids.sort_unstable_by(|&a, &b| key(b).cmp(&key(a)).then(a.cmp(&b)));
+    order_to_permutation(n, ids.into_iter())
+}
+
+/// `order` yields old ids in their new order; returns forward map.
+fn order_to_permutation(n: usize, order: impl Iterator<Item = VertexId>) -> Permutation {
+    let mut forward = vec![0 as VertexId; n];
+    for (new, old) in order.enumerate() {
+        forward[old as usize] = new as VertexId;
+    }
+    Permutation { forward }
+}
+
+fn slashburn_like(g: &CsrGraph, hubs_per_round: u32) -> Permutation {
+    let n = g.num_vertices();
+    // Residual degree = in + out within the not-yet-removed subgraph.
+    let mut degree: Vec<i64> = (0..n as VertexId)
+        .map(|v| g.in_degree(v) as i64 + g.out_degree(v) as i64)
+        .collect();
+    let mut removed = vec![false; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut remaining = n;
+    while remaining > 0 {
+        // Pick the `hubs_per_round` highest residual-degree vertices.
+        let mut cands: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| !removed[v as usize])
+            .collect();
+        cands
+            .sort_unstable_by(|&a, &b| degree[b as usize].cmp(&degree[a as usize]).then(a.cmp(&b)));
+        for &hub in cands.iter().take(hubs_per_round as usize) {
+            removed[hub as usize] = true;
+            order.push(hub);
+            remaining -= 1;
+            for nb in g.out_neighbors(hub).chain(g.in_neighbors(hub)) {
+                degree[nb as usize] -= 1;
+            }
+        }
+    }
+    order_to_permutation(n, order.into_iter())
+}
+
+/// Applies a permutation, producing a relabelled graph with identical
+/// structure.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidPermutation`] if `perm.len()` differs from
+/// `g.num_vertices()`.
+pub fn apply(g: &CsrGraph, perm: &Permutation) -> Result<CsrGraph, GraphError> {
+    if perm.len() != g.num_vertices() {
+        return Err(GraphError::InvalidPermutation(format!(
+            "permutation covers {} vertices, graph has {}",
+            perm.len(),
+            g.num_vertices()
+        )));
+    }
+    let n = g.num_vertices();
+    let mut b = if g.is_directed() {
+        GraphBuilder::directed(n)
+    } else {
+        GraphBuilder::undirected(n)
+    };
+    b.keep_self_loops(true); // structure-preserving: builder must not edit edges
+    if g.is_directed() {
+        if g.is_weighted() {
+            for u in 0..n as VertexId {
+                for (v, w) in g.out_neighbors_weighted(u) {
+                    b.add_weighted_edge(perm.map(u), perm.map(v), w)?;
+                }
+            }
+        } else {
+            for (u, v) in g.arcs() {
+                b.add_edge(perm.map(u), perm.map(v))?;
+            }
+        }
+    } else {
+        // Undirected: add each edge once (u <= v in stored form appears twice).
+        for u in 0..n as VertexId {
+            for (v, w) in g.out_neighbors_weighted(u) {
+                if u <= v {
+                    if g.is_weighted() {
+                        b.add_weighted_edge(perm.map(u), perm.map(v), w)?;
+                    } else {
+                        b.add_edge(perm.map(u), perm.map(v))?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Convenience: reorder `g` so that ids are a monotone popularity order,
+/// using the paper's chosen linear-time n-th-element algorithm over the top
+/// 20%. Returns the relabelled graph and the permutation used.
+pub fn canonical_hot_order(g: &CsrGraph) -> (CsrGraph, Permutation) {
+    let perm = compute_permutation(g, Reordering::NthElement { frac_permille: 200 });
+    let rg = apply(g, &perm).expect("permutation sized to graph");
+    (rg, perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::stats;
+
+    fn sample() -> CsrGraph {
+        generators::rmat(8, 8, generators::RmatParams::default(), 21).unwrap()
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let g = sample();
+        let p = Permutation::identity(g.num_vertices());
+        assert_eq!(apply(&g, &p).unwrap(), g);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let g = sample();
+        let p = compute_permutation(&g, Reordering::InDegreeSort);
+        let inv = p.inverse();
+        for v in 0..g.num_vertices() as VertexId {
+            assert_eq!(inv.map(p.map(v)), v);
+        }
+    }
+
+    #[test]
+    fn in_degree_sort_is_monotone() {
+        let g = sample();
+        let p = compute_permutation(&g, Reordering::InDegreeSort);
+        let rg = apply(&g, &p).unwrap();
+        for v in 1..rg.num_vertices() as VertexId {
+            assert!(
+                rg.in_degree(v - 1) >= rg.in_degree(v),
+                "order must be monotone at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn nth_element_puts_hot_set_first() {
+        let g = sample();
+        let p = compute_permutation(&g, Reordering::NthElement { frac_permille: 200 });
+        let rg = apply(&g, &p).unwrap();
+        let n = rg.num_vertices();
+        let k = (n * 200).div_ceil(1000);
+        let min_hot = (0..k as VertexId).map(|v| rg.in_degree(v)).min().unwrap();
+        let max_cold = (k as VertexId..n as VertexId)
+            .map(|v| rg.in_degree(v))
+            .max()
+            .unwrap();
+        assert!(
+            min_hot >= max_cold,
+            "hot set must dominate: {min_hot} vs {max_cold}"
+        );
+    }
+
+    #[test]
+    fn reordering_preserves_structure() {
+        let g = sample();
+        for ord in [
+            Reordering::InDegreeSort,
+            Reordering::OutDegreeSort,
+            Reordering::TopFractionSort { frac_permille: 200 },
+            Reordering::NthElement { frac_permille: 200 },
+        ] {
+            let p = compute_permutation(&g, ord);
+            let rg = apply(&g, &p).unwrap();
+            assert_eq!(rg.num_edges(), g.num_edges(), "{ord:?}");
+            assert_eq!(rg.num_arcs(), g.num_arcs(), "{ord:?}");
+            // Degree multiset preserved.
+            let mut d1: Vec<u32> = (0..g.num_vertices() as VertexId)
+                .map(|v| g.in_degree(v))
+                .collect();
+            let mut d2: Vec<u32> = (0..rg.num_vertices() as VertexId)
+                .map(|v| rg.in_degree(v))
+                .collect();
+            d1.sort_unstable();
+            d2.sort_unstable();
+            assert_eq!(d1, d2, "{ord:?}");
+        }
+    }
+
+    #[test]
+    fn reordering_preserves_connectivity_metric() {
+        let g = sample();
+        let before = stats::degree_stats(&g).in_connectivity(0.2);
+        let (rg, _) = canonical_hot_order(&g);
+        let after = stats::degree_stats(&rg).in_connectivity(0.2);
+        assert!((before - after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn canonical_hot_order_beats_identity_prefix_coverage() {
+        let g = sample();
+        let (rg, _) = canonical_hot_order(&g);
+        let k = (g.num_vertices() * 200).div_ceil(1000);
+        let hot_ids: Vec<VertexId> = (0..k as VertexId).collect();
+        let cov_reordered = stats::arc_coverage_of(&rg, &hot_ids);
+        let cov_identity = stats::arc_coverage_of(&g, &hot_ids);
+        assert!(cov_reordered >= cov_identity);
+        assert!(
+            cov_reordered > 0.7,
+            "rmat prefix coverage should be high, got {cov_reordered}"
+        );
+    }
+
+    #[test]
+    fn weighted_graph_keeps_weights_under_reorder() {
+        let g = generators::grid_road(8, 8, 0.1, 50, 3).unwrap();
+        let (rg, perm) = canonical_hot_order(&g);
+        // Pick an edge and verify its weight survived.
+        let u = 0 as VertexId;
+        let (v, w) = g.out_neighbors_weighted(u).next().unwrap();
+        let found: Vec<_> = rg
+            .out_neighbors_weighted(perm.map(u))
+            .filter(|&(x, _)| x == perm.map(v))
+            .collect();
+        assert_eq!(found, vec![(perm.map(v), w)]);
+    }
+
+    #[test]
+    fn slashburn_like_runs_and_is_valid() {
+        let g = generators::star(32).unwrap();
+        let p = compute_permutation(&g, Reordering::SlashBurnLike { hubs_per_round: 2 });
+        let rg = apply(&g, &p).unwrap();
+        // The hub must be peeled first.
+        assert_eq!(p.map(0), 0);
+        assert_eq!(rg.in_degree(0), 31);
+    }
+
+    #[test]
+    fn from_forward_rejects_non_bijections() {
+        assert!(Permutation::from_forward(vec![0, 0]).is_err());
+        assert!(Permutation::from_forward(vec![0, 5]).is_err());
+        assert!(Permutation::from_forward(vec![1, 0]).is_ok());
+    }
+}

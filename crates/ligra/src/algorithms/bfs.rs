@@ -1,0 +1,278 @@
+//! Breadth-first search, Ligra-style: a sparse frontier, a cheap
+//! parent-already-set check per edge, and a compare-and-set only on first
+//! touch — the paper's example of an algorithm with *many random reads but
+//! few atomics* (Table II: %atomic low, %random high).
+
+use crate::ctx::Ctx;
+use crate::edge_map::{edge_map, Activation, Direction};
+use crate::subset::VertexSubset;
+use omega_graph::{CsrGraph, VertexId};
+use omega_sim::AtomicKind;
+
+/// Marker for an unreached vertex in the parent array.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// BFS from `root`; returns the parent array (`NO_PARENT` = unreached;
+/// the root is its own parent).
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn bfs(g: &CsrGraph, ctx: &mut Ctx<'_>, root: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    assert!((root as usize) < n, "root {root} out of range {n}");
+    let parent = ctx.new_prop::<u32>(n, NO_PARENT);
+    ctx.poke(parent, root, root);
+    let mut frontier = VertexSubset::single(n, root);
+    while !frontier.is_empty() {
+        frontier = edge_map(
+            g,
+            ctx,
+            &frontier,
+            Direction::Push,
+            &mut |ctx, core, u, v, _w, _pull| {
+                // Ligra checks before the CAS to avoid wasted atomics.
+                if ctx.read(core, parent, v) != NO_PARENT {
+                    return Activation::None;
+                }
+                let (old, _) = ctx.atomic(core, parent, v, AtomicKind::UnsignedCompareSet, |p| {
+                    if p == NO_PARENT {
+                        u
+                    } else {
+                        p
+                    }
+                });
+                if old == NO_PARENT {
+                    Activation::ActivatedFused
+                } else {
+                    Activation::None
+                }
+            },
+            None,
+        );
+        ctx.barrier();
+    }
+    ctx.extract(parent)
+}
+
+/// Direction-optimised BFS (Beamer's hybrid, which Ligra popularised):
+/// sparse frontiers push with check-then-CAS; dense frontiers switch to a
+/// *bottom-up* sweep in which every unvisited vertex scans its in-edges and
+/// stops at the first frontier parent — the early exit that makes the
+/// hybrid win on low-diameter natural graphs. Returns the same reachable
+/// set as [`bfs`]; parent choice may differ (any BFS parent is valid).
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn bfs_auto(g: &CsrGraph, ctx: &mut Ctx<'_>, root: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    assert!((root as usize) < n, "root {root} out of range {n}");
+    let parent = ctx.new_prop::<u32>(n, NO_PARENT);
+    ctx.poke(parent, root, root);
+    let mut frontier = VertexSubset::single(n, root);
+    let threshold = g.num_arcs() / ctx.config().dense_threshold_div.max(1);
+    let per_vertex = ctx.config().compute_per_vertex_x100;
+    let per_edge = ctx.config().compute_per_edge_x100;
+    while !frontier.is_empty() {
+        let ids = frontier.to_ids();
+        let out_edges: u64 = ids.iter().map(|&u| g.out_degree(u) as u64).sum();
+        if frontier.len() as u64 + out_edges <= threshold {
+            // Top-down (push) step, as in `bfs`.
+            frontier = edge_map(
+                g,
+                ctx,
+                &frontier,
+                Direction::Push,
+                &mut |ctx, core, u, v, _w, _pull| {
+                    if ctx.read(core, parent, v) != NO_PARENT {
+                        return Activation::None;
+                    }
+                    let (old, _) =
+                        ctx.atomic(core, parent, v, AtomicKind::UnsignedCompareSet, |p| {
+                            if p == NO_PARENT {
+                                u
+                            } else {
+                                p
+                            }
+                        });
+                    if old == NO_PARENT {
+                        Activation::ActivatedFused
+                    } else {
+                        Activation::None
+                    }
+                },
+                None,
+            );
+        } else {
+            // Bottom-up step with early exit: every *unvisited* vertex scans
+            // its in-edges for a frontier member.
+            let mut dense = frontier.clone();
+            dense.densify();
+            let mut flags = vec![false; n];
+            let mut count = 0usize;
+            for v in 0..n as VertexId {
+                let core = ctx.config().core_of(v as usize);
+                ctx.trace_compute(core, per_vertex);
+                if ctx.read(core, parent, v) != NO_PARENT {
+                    continue;
+                }
+                let first_arc = g.in_offset(v);
+                for (k, u) in g.in_neighbors(v).enumerate() {
+                    ctx.trace_edge(core, first_arc + k as u64);
+                    ctx.trace_compute(core, per_edge);
+                    ctx.trace_frontier_read(core, u as u64 / 64, true);
+                    if dense.contains(u) {
+                        // Single-writer in bottom-up: a plain store suffices.
+                        ctx.write(core, parent, v, u);
+                        ctx.trace_frontier_write(core, v, true, false);
+                        flags[v as usize] = true;
+                        count += 1;
+                        break; // early exit — the hybrid's whole point
+                    }
+                }
+            }
+            frontier = VertexSubset::Dense { flags, count };
+        }
+        ctx.barrier();
+    }
+    ctx.extract(parent)
+}
+
+/// Reference BFS depths for validation (`u32::MAX` = unreached).
+pub fn bfs_depths_reference(g: &CsrGraph, root: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut depth = vec![u32::MAX; n];
+    depth[root as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(u) = queue.pop_front() {
+        for v in g.out_neighbors(u) {
+            if depth[v as usize] == u32::MAX {
+                depth[v as usize] = depth[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CollectingTracer, NullTracer};
+    use crate::ExecConfig;
+    use omega_graph::generators;
+
+    fn run_bfs(g: &CsrGraph, root: VertexId) -> Vec<u32> {
+        let mut t = NullTracer;
+        let mut ctx = Ctx::new(ExecConfig::default(), &mut t);
+        bfs(g, &mut ctx, root)
+    }
+
+    /// A parent array is valid iff the reachable set matches reference BFS
+    /// and each parent edge exists and decreases depth by exactly one.
+    fn assert_valid_parents(g: &CsrGraph, root: VertexId, parents: &[u32]) {
+        let depths = bfs_depths_reference(g, root);
+        for v in 0..g.num_vertices() {
+            let p = parents[v];
+            if v as u32 == root {
+                assert_eq!(p, root);
+                continue;
+            }
+            if depths[v] == u32::MAX {
+                assert_eq!(p, NO_PARENT, "unreachable vertex {v} must have no parent");
+            } else {
+                assert_ne!(p, NO_PARENT, "reachable vertex {v} must have a parent");
+                assert!(g.has_edge(p, v as u32), "parent edge {p}->{v} must exist");
+                assert_eq!(
+                    depths[v],
+                    depths[p as usize] + 1,
+                    "parent must be one level up"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn valid_on_power_law_graph() {
+        let g = generators::rmat(7, 8, generators::RmatParams::default(), 2).unwrap();
+        let root = (0..g.num_vertices() as u32)
+            .max_by_key(|&v| g.out_degree(v))
+            .unwrap();
+        let parents = run_bfs(&g, root);
+        assert_valid_parents(&g, root, &parents);
+    }
+
+    #[test]
+    fn valid_on_path() {
+        let g = generators::path(10).unwrap();
+        let parents = run_bfs(&g, 0);
+        for (v, &p) in parents.iter().enumerate().skip(1) {
+            assert_eq!(p, v as u32 - 1);
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_are_marked() {
+        let g = generators::path(5).unwrap();
+        let parents = run_bfs(&g, 3);
+        assert_eq!(parents[0], NO_PARENT);
+        assert_eq!(parents[4], 3);
+    }
+
+    #[test]
+    fn atomics_at_most_one_per_discovered_vertex_class() {
+        let g = generators::rmat(7, 8, generators::RmatParams::default(), 4).unwrap();
+        let mut t = CollectingTracer::new(16);
+        let mut ctx = Ctx::new(ExecConfig::default(), &mut t);
+        bfs(&g, &mut ctx, 0);
+        let c = t.finish().classify();
+        // Sequential semantics: the pre-check filters all but first-touch,
+        // so atomics == discovered vertices − 1 at most; far below reads.
+        assert!(c.prop_atomics < c.prop_reads / 2, "{c:?}");
+        assert!(c.prop_atomics <= g.num_vertices() as u64);
+    }
+
+    #[test]
+    fn auto_bfs_reaches_the_same_set_with_valid_parents() {
+        let g = generators::rmat(8, 10, generators::RmatParams::default(), 6).unwrap();
+        let root = (0..g.num_vertices() as u32)
+            .max_by_key(|&v| g.out_degree(v))
+            .unwrap();
+        let mut t = NullTracer;
+        let mut ctx = Ctx::new(ExecConfig::default(), &mut t);
+        let parents = bfs_auto(&g, &mut ctx, root);
+        assert_valid_parents(&g, root, &parents);
+    }
+
+    #[test]
+    fn auto_bfs_switches_to_bottom_up_on_dense_frontiers() {
+        // A hub-dominated graph makes the second frontier huge: the hybrid
+        // must take the bottom-up branch, whose trace has *no* atomics.
+        let g = generators::rmat(8, 10, generators::RmatParams::default(), 6).unwrap();
+        let root = (0..g.num_vertices() as u32)
+            .max_by_key(|&v| g.out_degree(v))
+            .unwrap();
+        let mut t = CollectingTracer::new(16);
+        let mut ctx = Ctx::new(ExecConfig::default(), &mut t);
+        bfs_auto(&g, &mut ctx, root);
+        let c = t.finish().classify();
+        let mut t2 = CollectingTracer::new(16);
+        let mut ctx2 = Ctx::new(ExecConfig::default(), &mut t2);
+        bfs(&g, &mut ctx2, root);
+        let c2 = t2.finish().classify();
+        assert!(
+            c.prop_atomics < c2.prop_atomics,
+            "hybrid must replace CAS discoveries with bottom-up stores: {} vs {}",
+            c.prop_atomics,
+            c2.prop_atomics
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_root_panics() {
+        let g = generators::path(3).unwrap();
+        run_bfs(&g, 9);
+    }
+}

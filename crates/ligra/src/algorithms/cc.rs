@@ -1,0 +1,124 @@
+//! Connected components by label propagation (Ligra's `Components`):
+//! every vertex starts with its own id and repeatedly atomic-min-merges
+//! labels across edges until a fixed point. Two vtxProp arrays (current
+//! and previous ids), as in Table II.
+
+use crate::ctx::Ctx;
+use crate::edge_map::{edge_map, vertex_map, Activation, Direction};
+use crate::subset::VertexSubset;
+use omega_graph::{CsrGraph, VertexId};
+use omega_sim::AtomicKind;
+
+/// Connected components of an undirected graph; returns per-vertex labels,
+/// where each component's label is its minimum vertex id.
+///
+/// # Panics
+///
+/// Panics if `g` is directed (label propagation over out-edges only finds
+/// weakly-connected components incorrectly).
+pub fn cc(g: &CsrGraph, ctx: &mut Ctx<'_>) -> Vec<u32> {
+    assert!(!g.is_directed(), "cc requires an undirected graph");
+    let n = g.num_vertices();
+    let ids = ctx.new_prop::<u32>(n, 0);
+    let prev = ctx.new_prop::<u32>(n, 0);
+    for v in 0..n as VertexId {
+        ctx.poke(ids, v, v);
+        ctx.poke(prev, v, v);
+    }
+    let mut frontier = VertexSubset::all(n);
+    while !frontier.is_empty() {
+        let next = edge_map(
+            g,
+            ctx,
+            &frontier,
+            Direction::Push,
+            &mut |ctx, core, u, v, _w, _pull| {
+                let lu = ctx.read_src(core, ids, u);
+                let (old, new) = ctx.atomic(core, ids, v, AtomicKind::LabelMin, |l| l.min(lu));
+                if new < old {
+                    Activation::ActivatedFused
+                } else {
+                    Activation::None
+                }
+            },
+            None,
+        );
+        ctx.barrier();
+        // Ligra copies ids → prevIds each round (the second vtxProp).
+        vertex_map(ctx, &next, |ctx, core, v| {
+            let l = ctx.read(core, ids, v);
+            ctx.write(core, prev, v, l);
+        });
+        ctx.barrier();
+        frontier = next;
+    }
+    ctx.extract(ids)
+}
+
+/// Reference union-find components for validation.
+pub fn cc_reference(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut r = x;
+        while parent[r as usize] != r {
+            r = parent[r as usize];
+        }
+        let mut c = x;
+        while parent[c as usize] != r {
+            let next = parent[c as usize];
+            parent[c as usize] = r;
+            c = next;
+        }
+        r
+    }
+    for (u, v) in g.arcs() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru.max(rv) as usize] = ru.min(rv);
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::NullTracer;
+    use crate::ExecConfig;
+    use omega_graph::{generators, GraphBuilder};
+
+    fn run(g: &CsrGraph) -> Vec<u32> {
+        let mut t = NullTracer;
+        let mut ctx = Ctx::new(ExecConfig::default(), &mut t);
+        cc(g, &mut ctx)
+    }
+
+    #[test]
+    fn two_islands() {
+        let mut b = GraphBuilder::undirected(6);
+        b.extend_edges([(0, 1), (1, 2), (3, 4)]).unwrap();
+        let g = b.build();
+        let labels = run(&g);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn matches_union_find_on_rmat() {
+        let g = generators::rmat_undirected(7, 4, generators::RmatParams::default(), 6).unwrap();
+        assert_eq!(run(&g), cc_reference(&g));
+    }
+
+    #[test]
+    fn matches_union_find_on_grid() {
+        let g = generators::grid_road(7, 5, 0.1, 4, 2).unwrap();
+        assert_eq!(run(&g), cc_reference(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected")]
+    fn directed_graph_rejected() {
+        let g = generators::path(3).unwrap();
+        run(&g);
+    }
+}

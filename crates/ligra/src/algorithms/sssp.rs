@@ -1,0 +1,145 @@
+//! Single-source shortest paths (Bellman-Ford over frontiers, as in Ligra
+//! and the paper's Fig. 10 pseudo-code): reads the source's `ShortestLen`,
+//! adds the edge length, atomically min-updates the destination, and sets
+//! its `Visited` flag to join the next frontier.
+//!
+//! This is the paper's showcase for the source-vertex buffer (§V.C): the
+//! source distance is re-read for every outgoing edge.
+
+use crate::ctx::Ctx;
+use crate::edge_map::{edge_map, vertex_map, Activation, Direction};
+use crate::subset::VertexSubset;
+use omega_graph::{CsrGraph, VertexId};
+use omega_sim::AtomicKind;
+
+/// Distance marker for unreached vertices.
+pub const UNREACHED: i32 = i32::MAX;
+
+/// SSSP from `root`; returns distances (`UNREACHED` where no path exists).
+///
+/// Edge weights come from the graph (unit weights if unweighted).
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn sssp(g: &CsrGraph, ctx: &mut Ctx<'_>, root: VertexId) -> Vec<i32> {
+    let n = g.num_vertices();
+    assert!((root as usize) < n, "root {root} out of range {n}");
+    let dist = ctx.new_prop::<i32>(n, UNREACHED);
+    let queued = ctx.new_prop::<bool>(n, false);
+    ctx.poke(dist, root, 0);
+    let mut frontier = VertexSubset::single(n, root);
+    let mut rounds = 0usize;
+    while !frontier.is_empty() && rounds <= n {
+        rounds += 1;
+        let next = edge_map(
+            g,
+            ctx,
+            &frontier,
+            Direction::Push,
+            &mut |ctx, core, u, v, w, _pull| {
+                // Fig. 10: newShortestLen = ShortestLen[s] + edgeLen.
+                let du = ctx.read_src(core, dist, u);
+                let cand = du.saturating_add(w as i32);
+                let (old, new) = ctx.atomic(core, dist, v, AtomicKind::SignedMin, |d| d.min(cand));
+                if new < old {
+                    // Visited[d] = 1 — one activation per round per vertex.
+                    let (was, _) =
+                        ctx.atomic(core, queued, v, AtomicKind::UnsignedCompareSet, |_| true);
+                    if !was {
+                        return Activation::ActivatedFused;
+                    }
+                }
+                Activation::None
+            },
+            None,
+        );
+        ctx.barrier();
+        // Reset the per-round visited flags for the next iteration.
+        vertex_map(ctx, &next, |ctx, core, v| {
+            ctx.write(core, queued, v, false);
+        });
+        ctx.barrier();
+        frontier = next;
+    }
+    ctx.extract(dist)
+}
+
+/// Reference Dijkstra for validation.
+pub fn sssp_reference(g: &CsrGraph, root: VertexId) -> Vec<i32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.num_vertices();
+    let mut dist = vec![UNREACHED; n];
+    dist[root as usize] = 0;
+    let mut heap = BinaryHeap::from([(Reverse(0i64), root)]);
+    while let Some((Reverse(d), u)) = heap.pop() {
+        if d > dist[u as usize] as i64 {
+            continue;
+        }
+        for (v, w) in g.out_neighbors_weighted(u) {
+            let nd = d + w as i64;
+            if nd < dist[v as usize] as i64 {
+                dist[v as usize] = nd as i32;
+                heap.push((Reverse(nd), v));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CollectingTracer, NullTracer};
+    use crate::ExecConfig;
+    use omega_graph::generators;
+
+    fn run(g: &CsrGraph, root: VertexId) -> Vec<i32> {
+        let mut t = NullTracer;
+        let mut ctx = Ctx::new(ExecConfig::default(), &mut t);
+        sssp(g, &mut ctx, root)
+    }
+
+    #[test]
+    fn matches_dijkstra_on_weighted_grid() {
+        let g = generators::grid_road(8, 8, 0.2, 20, 11).unwrap();
+        let ours = run(&g, 0);
+        let reference = sssp_reference(&g, 0);
+        assert_eq!(ours, reference);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_unweighted_rmat() {
+        let g = generators::rmat(7, 6, generators::RmatParams::default(), 8).unwrap();
+        let ours = run(&g, 0);
+        let reference = sssp_reference(&g, 0);
+        assert_eq!(ours, reference);
+    }
+
+    #[test]
+    fn unreachable_stay_at_max() {
+        let g = generators::path(4).unwrap();
+        let d = run(&g, 2);
+        assert_eq!(d, vec![UNREACHED, UNREACHED, 0, 1]);
+    }
+
+    #[test]
+    fn reads_source_property_per_edge() {
+        let g = generators::grid_road(5, 5, 0.0, 9, 2).unwrap();
+        let mut t = CollectingTracer::new(16);
+        let mut ctx = Ctx::new(ExecConfig::default(), &mut t);
+        sssp(&g, &mut ctx, 0);
+        let raw = t.finish();
+        let src_reads = raw
+            .per_core
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, crate::trace::TraceEvent::PropReadSrc { .. }))
+            .count();
+        assert!(
+            src_reads as u64 >= g.num_arcs() / 2,
+            "SSSP re-reads source distances"
+        );
+    }
+}

@@ -1,0 +1,450 @@
+//! Ligra's two primitives: `edge_map` and `vertex_map`, instrumented.
+//!
+//! `edge_map` applies an update function over the edges leaving the current
+//! frontier, producing the next frontier. Two directions are implemented,
+//! as in Ligra:
+//!
+//! * **Push** (scatter, sparse frontier): every frontier vertex walks its
+//!   out-edges and updates destination properties — with *atomic*
+//!   operations, since destinations are shared. These atomics are what
+//!   OMEGA offloads to PISCs.
+//! * **Pull** (gather, dense frontier): every destination walks its
+//!   in-edges and accumulates from frontier sources — no atomics, but a
+//!   frontier-membership read per edge.
+//!
+//! `Direction::Auto` applies Ligra's density heuristic: pull when
+//! `|frontier| + out-edges(frontier) > m / dense_threshold_div`.
+//!
+//! Work is partitioned over cores with OpenMP-style static chunking
+//! (`ExecConfig::core_of`), matching §V.D of the paper.
+
+use crate::ctx::Ctx;
+use crate::subset::VertexSubset;
+use omega_graph::{CsrGraph, VertexId, Weight};
+
+/// What an update did to the destination vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Destination not activated.
+    None,
+    /// Destination activated by a plain (non-atomic) update.
+    Activated,
+    /// Destination activated by the same atomic that updated its property —
+    /// OMEGA's PISC sets the scratchpad active-list bit as part of the
+    /// offloaded operation, so this activation costs the core nothing
+    /// (§V.B "Maintaining the active-list").
+    ActivatedFused,
+}
+
+/// Traversal direction for [`edge_map`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Ligra's density heuristic.
+    Auto,
+    /// Scatter along out-edges (atomic updates).
+    Push,
+    /// Gather along in-edges (plain updates).
+    Pull,
+}
+
+/// The per-edge update function.
+///
+/// Arguments: context, executing core, source, destination, weight, and
+/// whether the traversal is in pull direction (pull updates are
+/// single-writer and may use plain stores where push needs atomics).
+pub type UpdateFn<'a> =
+    dyn FnMut(&mut Ctx<'_>, usize, VertexId, VertexId, Weight, bool) -> Activation + 'a;
+
+/// Optional destination filter for pull traversals (Ligra's `cond`):
+/// destinations for which it returns `false` are skipped entirely.
+pub type CondFn<'a> = dyn FnMut(&mut Ctx<'_>, usize, VertexId) -> bool + 'a;
+
+/// Applies `update` over the edges leaving `frontier`; returns the next
+/// frontier.
+///
+/// The output is sparse after a push and dense after a pull, as in Ligra.
+///
+/// # Panics
+///
+/// Panics if `frontier.universe() != g.num_vertices()`.
+pub fn edge_map(
+    g: &CsrGraph,
+    ctx: &mut Ctx<'_>,
+    frontier: &VertexSubset,
+    direction: Direction,
+    update: &mut UpdateFn<'_>,
+    cond: Option<&mut CondFn<'_>>,
+) -> VertexSubset {
+    assert_eq!(
+        frontier.universe(),
+        g.num_vertices(),
+        "frontier universe mismatch"
+    );
+    let dir = match direction {
+        Direction::Auto => {
+            let ids = frontier.to_ids();
+            let out_edges: u64 = ids.iter().map(|&u| g.out_degree(u) as u64).sum();
+            let threshold = g.num_arcs() / ctx.config().dense_threshold_div.max(1);
+            if frontier.len() as u64 + out_edges > threshold {
+                Direction::Pull
+            } else {
+                Direction::Push
+            }
+        }
+        d => d,
+    };
+    match dir {
+        Direction::Push => edge_map_push(g, ctx, frontier, update),
+        Direction::Pull => edge_map_pull(g, ctx, frontier, update, cond),
+        Direction::Auto => unreachable!("resolved above"),
+    }
+}
+
+fn edge_map_push(
+    g: &CsrGraph,
+    ctx: &mut Ctx<'_>,
+    frontier: &VertexSubset,
+    update: &mut UpdateFn<'_>,
+) -> VertexSubset {
+    let n = g.num_vertices();
+    let ids = frontier.to_ids();
+    let per_vertex = ctx.config().compute_per_vertex_x100;
+    let per_edge = ctx.config().compute_per_edge_x100;
+    let mut out: Vec<VertexId> = Vec::new();
+    for (pos, &u) in ids.iter().enumerate() {
+        let core = ctx.config().core_of(pos);
+        ctx.trace_frontier_read(core, pos as u64, false);
+        ctx.trace_ngraph(core);
+        ctx.trace_compute(core, per_vertex);
+        let first_arc = g.out_offset(u);
+        for (k, (v, w)) in g.out_neighbors_weighted(u).enumerate() {
+            ctx.trace_edge(core, first_arc + k as u64);
+            ctx.trace_compute(core, per_edge);
+            match update(ctx, core, u, v, w, false) {
+                Activation::None => {}
+                act => {
+                    out.push(v);
+                    ctx.trace_frontier_write(core, v, false, act == Activation::ActivatedFused);
+                }
+            }
+        }
+    }
+    VertexSubset::from_ids(n, out)
+}
+
+fn edge_map_pull(
+    g: &CsrGraph,
+    ctx: &mut Ctx<'_>,
+    frontier: &VertexSubset,
+    update: &mut UpdateFn<'_>,
+    mut cond: Option<&mut CondFn<'_>>,
+) -> VertexSubset {
+    let n = g.num_vertices();
+    let mut dense_frontier = frontier.clone();
+    dense_frontier.densify();
+    let per_vertex = ctx.config().compute_per_vertex_x100;
+    let per_edge = ctx.config().compute_per_edge_x100;
+    let mut flags = vec![false; n];
+    let mut count = 0usize;
+    for v in 0..n as VertexId {
+        let core = ctx.config().core_of(v as usize);
+        ctx.trace_compute(core, per_vertex);
+        if let Some(c) = cond.as_deref_mut() {
+            if !c(ctx, core, v) {
+                continue;
+            }
+        }
+        let first_arc = g.in_offset(v);
+        for (k, (u, w)) in g.in_neighbors_weighted(v).enumerate() {
+            ctx.trace_edge(core, first_arc + k as u64);
+            ctx.trace_compute(core, per_edge);
+            // Frontier membership test: one read into the dense bit-vector
+            // word holding `u`.
+            ctx.trace_frontier_read(core, u as u64 / 64, true);
+            if !dense_frontier.contains(u) {
+                continue;
+            }
+            match update(ctx, core, u, v, w, true) {
+                Activation::None => {}
+                act => {
+                    if !flags[v as usize] {
+                        flags[v as usize] = true;
+                        count += 1;
+                        ctx.trace_frontier_write(core, v, true, act == Activation::ActivatedFused);
+                    }
+                }
+            }
+        }
+    }
+    VertexSubset::Dense { flags, count }
+}
+
+/// Applies `f` to every vertex in `subset`, with chunked core assignment
+/// and per-vertex bookkeeping traced.
+pub fn vertex_map(
+    ctx: &mut Ctx<'_>,
+    subset: &VertexSubset,
+    mut f: impl FnMut(&mut Ctx<'_>, usize, VertexId),
+) {
+    let per_vertex = ctx.config().compute_per_vertex_x100;
+    match subset {
+        VertexSubset::Sparse { ids, .. } => {
+            for (pos, &v) in ids.iter().enumerate() {
+                let core = ctx.config().core_of(pos);
+                ctx.trace_frontier_read(core, pos as u64, false);
+                ctx.trace_compute(core, per_vertex);
+                f(ctx, core, v);
+            }
+        }
+        VertexSubset::Dense { flags, .. } => {
+            for (v, &on) in flags.iter().enumerate() {
+                let core = ctx.config().core_of(v);
+                if v % 64 == 0 {
+                    ctx.trace_frontier_read(core, v as u64 / 64, true);
+                }
+                if on {
+                    ctx.trace_compute(core, per_vertex);
+                    f(ctx, core, v as VertexId);
+                }
+            }
+        }
+    }
+}
+
+/// Applies `f` to every vertex `0..n` (Ligra's whole-array `vertexMap`,
+/// used for initialisation and per-iteration normalisation sweeps).
+pub fn vertex_map_all(
+    ctx: &mut Ctx<'_>,
+    n: usize,
+    mut f: impl FnMut(&mut Ctx<'_>, usize, VertexId),
+) {
+    let per_vertex = ctx.config().compute_per_vertex_x100;
+    for v in 0..n {
+        let core = ctx.config().core_of(v);
+        ctx.trace_compute(core, per_vertex);
+        f(ctx, core, v as VertexId);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::ExecConfig;
+    use crate::trace::{CollectingTracer, TraceEvent};
+    use omega_graph::GraphBuilder;
+    use omega_sim::AtomicKind;
+
+    fn diamond() -> CsrGraph {
+        let mut b = GraphBuilder::directed(4);
+        b.extend_edges([(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        b.build()
+    }
+
+    fn cfg() -> ExecConfig {
+        ExecConfig {
+            n_cores: 2,
+            chunk_size: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn push_visits_out_edges_and_builds_frontier() {
+        let g = diamond();
+        let mut t = CollectingTracer::new(2);
+        let mut ctx = Ctx::new(cfg(), &mut t);
+        let frontier = VertexSubset::single(4, 0);
+        let next = edge_map(
+            &g,
+            &mut ctx,
+            &frontier,
+            Direction::Push,
+            &mut |_, _, _, _, _, _| Activation::Activated,
+            None,
+        );
+        assert_eq!(next.to_ids(), vec![1, 2]);
+        let raw = t.finish();
+        let edges = raw.classify().edge_reads;
+        assert_eq!(edges, 2);
+    }
+
+    #[test]
+    fn pull_scans_in_edges_of_all_vertices() {
+        let g = diamond();
+        let mut t = CollectingTracer::new(2);
+        let mut ctx = Ctx::new(cfg(), &mut t);
+        let frontier = VertexSubset::from_ids(4, vec![1, 2]);
+        let next = edge_map(
+            &g,
+            &mut ctx,
+            &frontier,
+            Direction::Pull,
+            &mut |_, _, _, _, _, pull| {
+                assert!(pull);
+                Activation::Activated
+            },
+            None,
+        );
+        // Only vertex 3 has frontier in-neighbors.
+        assert!(next.is_dense());
+        assert_eq!(next.to_ids(), vec![3]);
+        // Pull scans every in-edge: 4 arcs total.
+        assert_eq!(t.finish().classify().edge_reads, 4);
+    }
+
+    #[test]
+    fn pull_cond_skips_destinations() {
+        let g = diamond();
+        let mut t = CollectingTracer::new(2);
+        let mut ctx = Ctx::new(cfg(), &mut t);
+        let frontier = VertexSubset::all(4);
+        let next = edge_map(
+            &g,
+            &mut ctx,
+            &frontier,
+            Direction::Pull,
+            &mut |_, _, _, _, _, _| Activation::Activated,
+            Some(&mut |_, _, v| v != 3),
+        );
+        assert!(!next.contains(3));
+    }
+
+    #[test]
+    fn auto_picks_pull_for_large_frontiers() {
+        let g = diamond();
+        let mut t = CollectingTracer::new(2);
+        // Threshold m/1 = 4: frontier of all 4 vertices + 4 out-edges > 4 → pull.
+        let mut ctx = Ctx::new(
+            ExecConfig {
+                dense_threshold_div: 1,
+                ..cfg()
+            },
+            &mut t,
+        );
+        let mut saw_pull = false;
+        edge_map(
+            &g,
+            &mut ctx,
+            &VertexSubset::all(4),
+            Direction::Auto,
+            &mut |_, _, _, _, _, pull| {
+                saw_pull = pull;
+                Activation::None
+            },
+            None,
+        );
+        assert!(saw_pull);
+    }
+
+    #[test]
+    fn auto_picks_push_for_small_frontiers() {
+        let g = diamond();
+        let mut t = CollectingTracer::new(2);
+        let mut ctx = Ctx::new(
+            ExecConfig {
+                dense_threshold_div: 1,
+                ..cfg()
+            },
+            &mut t,
+        );
+        let mut saw_push = false;
+        edge_map(
+            &g,
+            &mut ctx,
+            &VertexSubset::single(4, 0),
+            Direction::Auto,
+            &mut |_, _, _, _, _, pull| {
+                saw_push = !pull;
+                Activation::None
+            },
+            None,
+        );
+        assert!(saw_push);
+    }
+
+    #[test]
+    fn fused_activation_is_marked_in_trace() {
+        let g = diamond();
+        let mut t = CollectingTracer::new(2);
+        let mut ctx = Ctx::new(cfg(), &mut t);
+        edge_map(
+            &g,
+            &mut ctx,
+            &VertexSubset::single(4, 0),
+            Direction::Push,
+            &mut |ctx, core, _u, v, _w, _| {
+                let p = if v == 1 {
+                    Activation::ActivatedFused
+                } else {
+                    Activation::Activated
+                };
+                ctx.trace_compute(core, 1);
+                p
+            },
+            None,
+        );
+        let raw = t.finish();
+        let fused: Vec<bool> = raw
+            .per_core
+            .iter()
+            .flatten()
+            .filter_map(|e| match e {
+                TraceEvent::FrontierWrite { fused, .. } => Some(*fused),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fused, vec![true, false]);
+    }
+
+    #[test]
+    fn vertex_map_sparse_touches_only_members() {
+        let mut t = CollectingTracer::new(2);
+        let mut ctx = Ctx::new(cfg(), &mut t);
+        let s = VertexSubset::from_ids(10, vec![2, 5]);
+        let mut seen = Vec::new();
+        vertex_map(&mut ctx, &s, |_, _, v| seen.push(v));
+        assert_eq!(seen, vec![2, 5]);
+    }
+
+    #[test]
+    fn vertex_map_dense_scans_flags() {
+        let mut t = CollectingTracer::new(2);
+        let mut ctx = Ctx::new(cfg(), &mut t);
+        let mut s = VertexSubset::from_ids(10, vec![2, 5]);
+        s.densify();
+        let mut seen = Vec::new();
+        vertex_map(&mut ctx, &s, |_, _, v| seen.push(v));
+        assert_eq!(seen, vec![2, 5]);
+    }
+
+    #[test]
+    fn vertex_map_all_covers_everything() {
+        let mut t = CollectingTracer::new(2);
+        let mut ctx = Ctx::new(cfg(), &mut t);
+        let mut count = 0;
+        vertex_map_all(&mut ctx, 7, |_, _, _| count += 1);
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn push_updates_can_be_atomic_and_traced() {
+        let g = diamond();
+        let mut t = CollectingTracer::new(2);
+        let mut ctx = Ctx::new(cfg(), &mut t);
+        let rank = ctx.new_prop::<f64>(4, 0.0);
+        edge_map(
+            &g,
+            &mut ctx,
+            &VertexSubset::single(4, 0),
+            Direction::Push,
+            &mut |ctx, core, _u, v, _w, _| {
+                ctx.atomic(core, rank, v, AtomicKind::FpAdd, |x| x + 1.0);
+                Activation::ActivatedFused
+            },
+            None,
+        );
+        assert_eq!(ctx.peek(rank, 1), 1.0);
+        assert_eq!(ctx.peek(rank, 2), 1.0);
+        assert_eq!(t.finish().classify().prop_atomics, 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! # omega-ligra
+//!
+//! A Ligra-style vertex-centric graph-processing framework (Shun &
+//! Blelloch, PPoPP'13) with built-in **memory-access tracing** — the
+//! workload side of the OMEGA reproduction (Addisie et al., IISWC 2018).
+//!
+//! The paper runs Ligra unmodified on both the baseline CMP and OMEGA; this
+//! crate plays that role. It provides:
+//!
+//! * [`subset::VertexSubset`] — Ligra's frontier abstraction
+//!   with sparse and dense representations and automatic switching.
+//! * [`edge_map`](edge_map::edge_map) / [`vertex_map`](edge_map::vertex_map)
+//!   — the two Ligra primitives, in push (scatter, atomic) and pull
+//!   (gather) directions with Ligra's density-based direction selection.
+//! * [`algorithms`] — the paper's eight workloads (Table II): PageRank,
+//!   BFS, SSSP, BC, Radii, CC, TC, KC.
+//! * [`graphmat`] — a GraphMat-style, atomic-free execution mode (§V.F
+//!   applied the paper's translation tool to GraphMat as well).
+//! * [`native`] — real multithreaded host execution of the key algorithms
+//!   (atomic CAS/fetch-min), validating the partitioned semantics under
+//!   genuine concurrency and making the library useful outside simulation.
+//! * [`trace`] — the instrumentation layer: every access to `vtxProp`,
+//!   `edgeList`, the active lists, and non-graph bookkeeping data is
+//!   emitted as a typed [`TraceEvent`](trace::TraceEvent) attributed to one
+//!   of the simulated cores (work is partitioned with OpenMP-style static
+//!   chunking, §V.D). `omega-core` lowers these events onto concrete
+//!   addresses and replays them in the timing simulator.
+//!
+//! Algorithms are *functionally correct* — they compute real results,
+//! verified against reference implementations in the test suite — while
+//! simultaneously producing the trace.
+//!
+//! # Example
+//!
+//! ```
+//! use omega_graph::generators;
+//! use omega_ligra::{algorithms, Ctx, ExecConfig, trace::CollectingTracer};
+//!
+//! let g = generators::rmat(8, 8, generators::RmatParams::default(), 1)?;
+//! let mut tracer = CollectingTracer::new(16);
+//! let mut ctx = Ctx::new(ExecConfig::default(), &mut tracer);
+//! let ranks = algorithms::pagerank(&g, &mut ctx, 2);
+//! assert_eq!(ranks.len(), g.num_vertices());
+//! let raw = tracer.finish();
+//! assert!(raw.events() > 0);
+//! # Ok::<(), omega_graph::GraphError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algorithms;
+pub mod ctx;
+pub mod edge_map;
+pub mod graphmat;
+pub mod native;
+pub mod props;
+pub mod subset;
+pub mod trace;
+
+pub use ctx::{Ctx, ExecConfig};
+pub use props::{PropId, PropType};
+pub use subset::VertexSubset;

@@ -1,0 +1,180 @@
+//! Typed property arrays (`vtxProp`).
+//!
+//! Property arrays are owned by the execution context ([`crate::Ctx`]) so
+//! every access can be traced; algorithms hold typed handles ([`PropId`])
+//! instead of references. Storage is monomorphic per array (an enum of
+//! primitive vectors), matching the paper's observation that vtxProp holds
+//! a primitive type of 1–8 bytes per vertex (§V.A: type sizes from `Bool`
+//! to `double`).
+
+use std::marker::PhantomData;
+
+/// Typed handle to a property array registered with a [`crate::Ctx`].
+pub struct PropId<T> {
+    pub(crate) raw: u16,
+    pub(crate) _ty: PhantomData<fn() -> T>,
+}
+
+impl<T> std::fmt::Debug for PropId<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PropId({})", self.raw)
+    }
+}
+
+impl<T> Clone for PropId<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for PropId<T> {}
+
+/// Backing storage for one property array.
+#[derive(Debug, Clone)]
+pub enum PropStorage {
+    /// 8-byte float (PageRank).
+    F64(Vec<f64>),
+    /// 4-byte unsigned (BFS parents, CC labels, KC degrees).
+    U32(Vec<u32>),
+    /// 8-byte unsigned (Radii visited bitmasks, TC counts).
+    U64(Vec<u64>),
+    /// 4-byte signed (SSSP distances).
+    I32(Vec<i32>),
+    /// 1-byte flag (SSSP visited).
+    Bool(Vec<bool>),
+}
+
+impl PropStorage {
+    /// Bytes per entry.
+    pub fn entry_bytes(&self) -> u32 {
+        match self {
+            PropStorage::F64(_) | PropStorage::U64(_) => 8,
+            PropStorage::U32(_) | PropStorage::I32(_) => 4,
+            PropStorage::Bool(_) => 1,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            PropStorage::F64(v) => v.len(),
+            PropStorage::U32(v) => v.len(),
+            PropStorage::U64(v) => v.len(),
+            PropStorage::I32(v) => v.len(),
+            PropStorage::Bool(v) => v.len(),
+        }
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for i32 {}
+    impl Sealed for bool {}
+}
+
+/// Primitive types storable in a property array.
+///
+/// This trait is sealed: the storable set mirrors the vtxProp entry types
+/// the paper's workloads use (Table II).
+pub trait PropType: sealed::Sealed + Copy + PartialEq + std::fmt::Debug + 'static {
+    /// Allocates storage of `len` entries initialised to `init`.
+    fn alloc(len: usize, init: Self) -> PropStorage;
+    /// Reads entry `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the storage holds a different type or `idx` is out of
+    /// range.
+    fn load(storage: &PropStorage, idx: usize) -> Self;
+    /// Writes entry `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the storage holds a different type or `idx` is out of
+    /// range.
+    fn store(storage: &mut PropStorage, idx: usize, val: Self);
+}
+
+macro_rules! impl_prop_type {
+    ($ty:ty, $variant:ident) => {
+        impl PropType for $ty {
+            fn alloc(len: usize, init: Self) -> PropStorage {
+                PropStorage::$variant(vec![init; len])
+            }
+            fn load(storage: &PropStorage, idx: usize) -> Self {
+                match storage {
+                    PropStorage::$variant(v) => v[idx],
+                    other => panic!(
+                        concat!(
+                            "property type mismatch: expected ",
+                            stringify!($variant),
+                            ", got {:?}"
+                        ),
+                        std::mem::discriminant(other)
+                    ),
+                }
+            }
+            fn store(storage: &mut PropStorage, idx: usize, val: Self) {
+                match storage {
+                    PropStorage::$variant(v) => v[idx] = val,
+                    other => panic!(
+                        concat!(
+                            "property type mismatch: expected ",
+                            stringify!($variant),
+                            ", got {:?}"
+                        ),
+                        std::mem::discriminant(other)
+                    ),
+                }
+            }
+        }
+    };
+}
+
+impl_prop_type!(f64, F64);
+impl_prop_type!(u32, U32);
+impl_prop_type!(u64, U64);
+impl_prop_type!(i32, I32);
+impl_prop_type!(bool, Bool);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_load_store_roundtrip() {
+        let mut s = f64::alloc(4, 0.5);
+        assert_eq!(f64::load(&s, 3), 0.5);
+        f64::store(&mut s, 3, 2.5);
+        assert_eq!(f64::load(&s, 3), 2.5);
+    }
+
+    #[test]
+    fn entry_bytes_match_types() {
+        assert_eq!(f64::alloc(1, 0.0).entry_bytes(), 8);
+        assert_eq!(u32::alloc(1, 0).entry_bytes(), 4);
+        assert_eq!(u64::alloc(1, 0).entry_bytes(), 8);
+        assert_eq!(i32::alloc(1, 0).entry_bytes(), 4);
+        assert_eq!(bool::alloc(1, false).entry_bytes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "property type mismatch")]
+    fn type_mismatch_panics() {
+        let s = f64::alloc(1, 0.0);
+        let _ = u32::load(&s, 0);
+    }
+
+    #[test]
+    fn len_reports_entries() {
+        assert_eq!(bool::alloc(7, true).len(), 7);
+        assert!(!bool::alloc(7, true).is_empty());
+    }
+}

@@ -1,0 +1,371 @@
+//! The instrumentation layer: typed memory-access events.
+//!
+//! The framework emits one [`TraceEvent`] for every access it (or an
+//! algorithm's update function) makes to the three data-structure classes
+//! the paper distinguishes (§II "Graph data structures"):
+//!
+//! * **vtxProp** — per-vertex property arrays: random access, the target of
+//!   OMEGA's scratchpads.
+//! * **edgeList** — CSR adjacency: sequential access, cache-friendly.
+//! * **nGraphData** — everything else: frontier arrays, loop bookkeeping.
+//!
+//! Events carry *logical* coordinates (property id + vertex id, arc index,
+//! frontier index); `omega-core`'s layout assigns virtual addresses when
+//! lowering to the timing simulator. This keeps the framework independent
+//! of machine configuration, exactly as Ligra is.
+
+use omega_sim::AtomicKind;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a registered property array.
+pub type RawPropId = u16;
+
+/// One logical memory event, attributed to a simulated core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Non-memory work, in cycles ×100.
+    Compute(u32),
+    /// Random read of vertex `v`'s entry in property `id`.
+    PropRead {
+        /// Property array.
+        id: RawPropId,
+        /// Vertex index.
+        v: u32,
+    },
+    /// Read of the *source* vertex's property while scanning its out-edges —
+    /// the access class served by OMEGA's source-vertex buffer (§V.C).
+    PropReadSrc {
+        /// Property array.
+        id: RawPropId,
+        /// Vertex index.
+        v: u32,
+    },
+    /// Plain write of vertex `v`'s entry in property `id`.
+    PropWrite {
+        /// Property array.
+        id: RawPropId,
+        /// Vertex index.
+        v: u32,
+    },
+    /// Atomic read-modify-write of vertex `v`'s entry (the operation OMEGA
+    /// offloads to a PISC).
+    PropAtomic {
+        /// Property array.
+        id: RawPropId,
+        /// Vertex index.
+        v: u32,
+        /// Which ALU operation.
+        kind: AtomicKind,
+    },
+    /// Sequential read of the CSR arc at global index `arc` (target id plus
+    /// weight if the graph is weighted).
+    EdgeRead {
+        /// Global arc index.
+        arc: u64,
+    },
+    /// Read of the frontier (active list) at `index`.
+    FrontierRead {
+        /// Element (sparse) or 64-vertex word (dense) index.
+        index: u64,
+        /// Dense bit-vector vs. sparse id list.
+        dense: bool,
+    },
+    /// Insertion of `vertex` into the next frontier.
+    FrontierWrite {
+        /// The activated vertex.
+        vertex: u32,
+        /// Dense bit-vector vs. sparse id list.
+        dense: bool,
+        /// `true` when the activation is produced by the same atomic update
+        /// that modified the vertex's property — OMEGA's PISC absorbs these
+        /// into the scratchpad's active-list bit for free (§V.B).
+        fused: bool,
+    },
+    /// A bookkeeping access to non-graph data (loop counters, frontier
+    /// metadata).
+    NGraph,
+    /// All cores synchronise (end of a Ligra iteration).
+    Barrier,
+}
+
+/// Metadata for one registered property array, needed to lay it out in the
+/// simulated address space (the paper's address-monitoring registers hold
+/// exactly this: start address, type size, stride — §V.A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropSpec {
+    /// Bytes per entry (Table II "vtxProp entry size" contributions).
+    pub entry_bytes: u32,
+    /// Number of entries (== number of vertices).
+    pub len: u64,
+    /// Whether this array is a true vtxProp (randomly accessed per edge,
+    /// counted in Table II, eligible for scratchpad residency). Auxiliary
+    /// arrays (e.g. PageRank's previous-iteration ranks, BC's visited
+    /// flags) stay in the regular caches.
+    pub monitored: bool,
+}
+
+/// Trace-wide metadata captured alongside the events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Registered property arrays, indexed by [`RawPropId`].
+    pub props: Vec<PropSpec>,
+    /// Number of vertices in the processed graph.
+    pub n_vertices: u64,
+    /// Number of stored arcs.
+    pub n_arcs: u64,
+    /// Whether edges carry weights (8-byte vs 4-byte arc records).
+    pub weighted: bool,
+}
+
+impl TraceMeta {
+    /// Bytes per arc record in the CSR edge array.
+    pub fn arc_bytes(&self) -> u32 {
+        if self.weighted {
+            8
+        } else {
+            4
+        }
+    }
+}
+
+/// Sink for trace events.
+///
+/// The framework calls [`Tracer::emit`] with the logical core that performed
+/// the access (OpenMP-style static chunking decides which core that is).
+pub trait Tracer {
+    /// Records `ev` as performed by `core`.
+    fn emit(&mut self, core: usize, ev: TraceEvent);
+
+    /// Records a global synchronisation (appended to every core's stream).
+    fn emit_barrier(&mut self);
+}
+
+/// A tracer that discards everything — for purely functional runs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn emit(&mut self, _core: usize, _ev: TraceEvent) {}
+    fn emit_barrier(&mut self) {}
+}
+
+/// Collects per-core event streams in memory.
+#[derive(Debug, Clone)]
+pub struct CollectingTracer {
+    per_core: Vec<Vec<TraceEvent>>,
+}
+
+impl CollectingTracer {
+    /// Creates a tracer for `n_cores` logical cores.
+    pub fn new(n_cores: usize) -> Self {
+        CollectingTracer {
+            per_core: vec![Vec::new(); n_cores],
+        }
+    }
+
+    /// Consumes the tracer, yielding the collected streams.
+    pub fn finish(self) -> RawTrace {
+        RawTrace {
+            per_core: self.per_core,
+        }
+    }
+}
+
+impl Tracer for CollectingTracer {
+    fn emit(&mut self, core: usize, ev: TraceEvent) {
+        self.per_core[core].push(ev);
+    }
+
+    fn emit_barrier(&mut self) {
+        for stream in &mut self.per_core {
+            stream.push(TraceEvent::Barrier);
+        }
+    }
+}
+
+/// The collected per-core event streams of one algorithm run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawTrace {
+    /// One stream per logical core.
+    pub per_core: Vec<Vec<TraceEvent>>,
+}
+
+impl RawTrace {
+    /// Total number of events across cores.
+    pub fn events(&self) -> u64 {
+        self.per_core.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Counts of the access classes, for the Table II / Fig. 4b / Fig. 5
+    /// analyses.
+    pub fn classify(&self) -> TraceClassification {
+        let mut c = TraceClassification::default();
+        for stream in &self.per_core {
+            for ev in stream {
+                match ev {
+                    TraceEvent::PropRead { .. } | TraceEvent::PropReadSrc { .. } => {
+                        c.prop_reads += 1
+                    }
+                    TraceEvent::PropWrite { .. } => c.prop_writes += 1,
+                    TraceEvent::PropAtomic { .. } => c.prop_atomics += 1,
+                    TraceEvent::EdgeRead { .. } => c.edge_reads += 1,
+                    TraceEvent::FrontierRead { .. } | TraceEvent::FrontierWrite { .. } => {
+                        c.frontier_accesses += 1
+                    }
+                    TraceEvent::NGraph => c.ngraph_accesses += 1,
+                    TraceEvent::Compute(_) | TraceEvent::Barrier => {}
+                }
+            }
+        }
+        c
+    }
+
+    /// Fraction of vtxProp accesses (read/write/atomic) that touch a vertex
+    /// id below `hot_count` — with graphs in canonical hot order, this is
+    /// exactly the paper's "accesses to the 20% most-connected vertices"
+    /// metric (Fig. 4b / Fig. 5).
+    pub fn prop_access_fraction_below(&self, hot_count: u32) -> f64 {
+        let mut total = 0u64;
+        let mut hot = 0u64;
+        for stream in &self.per_core {
+            for ev in stream {
+                let v = match ev {
+                    TraceEvent::PropRead { v, .. }
+                    | TraceEvent::PropReadSrc { v, .. }
+                    | TraceEvent::PropWrite { v, .. }
+                    | TraceEvent::PropAtomic { v, .. } => *v,
+                    _ => continue,
+                };
+                total += 1;
+                if v < hot_count {
+                    hot += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hot as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregate counts of each access class in a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceClassification {
+    /// vtxProp loads (including source-vertex reads).
+    pub prop_reads: u64,
+    /// vtxProp plain stores.
+    pub prop_writes: u64,
+    /// vtxProp atomic RMWs.
+    pub prop_atomics: u64,
+    /// edgeList reads.
+    pub edge_reads: u64,
+    /// Active-list reads and writes.
+    pub frontier_accesses: u64,
+    /// Non-graph bookkeeping accesses.
+    pub ngraph_accesses: u64,
+}
+
+impl TraceClassification {
+    /// Total memory accesses.
+    pub fn total(&self) -> u64 {
+        self.prop_reads
+            + self.prop_writes
+            + self.prop_atomics
+            + self.edge_reads
+            + self.frontier_accesses
+            + self.ngraph_accesses
+    }
+
+    /// Share of accesses that are atomic RMWs (Table II "%atomic").
+    pub fn atomic_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.prop_atomics as f64 / self.total() as f64
+        }
+    }
+
+    /// Share of accesses that are random vtxProp accesses
+    /// (Table II "%random access").
+    pub fn random_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.prop_reads + self.prop_writes + self.prop_atomics) as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collecting_tracer_routes_by_core() {
+        let mut t = CollectingTracer::new(2);
+        t.emit(0, TraceEvent::NGraph);
+        t.emit(1, TraceEvent::Compute(100));
+        t.emit_barrier();
+        let raw = t.finish();
+        assert_eq!(raw.per_core[0].len(), 2);
+        assert_eq!(raw.per_core[1].len(), 2);
+        assert_eq!(raw.per_core[0][1], TraceEvent::Barrier);
+    }
+
+    #[test]
+    fn classification_counts_kinds() {
+        let mut t = CollectingTracer::new(1);
+        t.emit(0, TraceEvent::PropRead { id: 0, v: 1 });
+        t.emit(
+            0,
+            TraceEvent::PropAtomic {
+                id: 0,
+                v: 2,
+                kind: AtomicKind::FpAdd,
+            },
+        );
+        t.emit(0, TraceEvent::EdgeRead { arc: 0 });
+        t.emit(0, TraceEvent::EdgeRead { arc: 1 });
+        let c = t.finish().classify();
+        assert_eq!(c.prop_reads, 1);
+        assert_eq!(c.prop_atomics, 1);
+        assert_eq!(c.edge_reads, 2);
+        assert!((c.atomic_fraction() - 0.25).abs() < 1e-12);
+        assert!((c.random_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_fraction_counts_only_prop_events() {
+        let mut t = CollectingTracer::new(1);
+        t.emit(
+            0,
+            TraceEvent::PropAtomic {
+                id: 0,
+                v: 1,
+                kind: AtomicKind::FpAdd,
+            },
+        );
+        t.emit(0, TraceEvent::PropRead { id: 0, v: 100 });
+        t.emit(0, TraceEvent::EdgeRead { arc: 5 });
+        let raw = t.finish();
+        assert!((raw.prop_access_fraction_below(10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arc_bytes_depend_on_weights() {
+        let meta = TraceMeta {
+            props: vec![],
+            n_vertices: 0,
+            n_arcs: 0,
+            weighted: false,
+        };
+        assert_eq!(meta.arc_bytes(), 4);
+        let meta = TraceMeta {
+            weighted: true,
+            ..meta
+        };
+        assert_eq!(meta.arc_bytes(), 8);
+    }
+}

@@ -1,0 +1,170 @@
+//! Cross-validation of the algorithms against their own Table II
+//! specifications: the *measured* trace rates must land in the qualitative
+//! bands the spec (and the paper) declares, on every dataset class.
+
+use omega_graph::generators::{self, RmatParams};
+use omega_graph::{reorder, CsrGraph};
+use omega_ligra::algorithms::{Algo, Level, ALL_ALGOS};
+use omega_ligra::trace::CollectingTracer;
+use omega_ligra::{Ctx, ExecConfig};
+
+fn natural() -> CsrGraph {
+    let g = generators::rmat_undirected(9, 6, RmatParams::default(), 12).unwrap();
+    reorder::canonical_hot_order(&g).0
+}
+
+fn road() -> CsrGraph {
+    let g = generators::grid_road(24, 24, 0.1, 50, 3).unwrap();
+    reorder::canonical_hot_order(&g).0
+}
+
+fn classify(g: &CsrGraph, algo: Algo) -> omega_ligra::trace::TraceClassification {
+    let exec = ExecConfig::default();
+    let mut tracer = CollectingTracer::new(exec.n_cores);
+    let mut ctx = Ctx::new(exec, &mut tracer);
+    algo.run(g, &mut ctx);
+    tracer.finish().classify()
+}
+
+/// Band limits for the qualitative levels, in fractions of all accesses.
+fn atomic_band(level: Level) -> (f64, f64) {
+    match level {
+        Level::Low => (0.0, 0.16),
+        Level::Medium => (0.10, 0.28),
+        Level::High => (0.15, 0.60),
+    }
+}
+
+#[test]
+fn measured_atomic_rates_match_table_two_levels() {
+    let g = natural();
+    for algo in ALL_ALGOS {
+        let algo = algo.with_default_root(&g);
+        if !algo.supports(&g) {
+            continue;
+        }
+        let c = classify(&g, algo);
+        let (lo, hi) = atomic_band(algo.spec().atomic_level);
+        let measured = c.atomic_fraction();
+        assert!(
+            (lo..=hi).contains(&measured),
+            "{}: measured %atomic {:.3} outside {:?} band [{lo}, {hi}]",
+            algo.name(),
+            measured,
+            algo.spec().atomic_level
+        );
+    }
+}
+
+#[test]
+fn random_access_levels_separate_tc_from_the_rest() {
+    let g = natural();
+    let tc = classify(&g, Algo::Tc);
+    for algo in [Algo::PageRank { iters: 1 }, Algo::Cc] {
+        let other = classify(&g, algo);
+        assert!(
+            other.random_fraction() > 4.0 * tc.random_fraction(),
+            "{} random {:.3} must dwarf TC's {:.3}",
+            algo.name(),
+            other.random_fraction(),
+            tc.random_fraction()
+        );
+    }
+}
+
+#[test]
+fn active_list_algorithms_touch_frontier_structures() {
+    let g = natural();
+    for algo in ALL_ALGOS {
+        let algo = algo.with_default_root(&g);
+        if !algo.supports(&g) {
+            continue;
+        }
+        let c = classify(&g, algo);
+        if algo.spec().active_list {
+            assert!(c.frontier_accesses > 0, "{} declares an active list", algo.name());
+        }
+    }
+}
+
+#[test]
+fn src_reading_algorithms_emit_stable_reads() {
+    let g = natural();
+    for algo in ALL_ALGOS {
+        let algo = algo.with_default_root(&g);
+        if !algo.supports(&g) {
+            continue;
+        }
+        let exec = ExecConfig::default();
+        let mut tracer = CollectingTracer::new(exec.n_cores);
+        let mut ctx = Ctx::new(exec, &mut tracer);
+        algo.run(&g, &mut ctx);
+        // Table II's "read src vtx's vtxProp" column counts only true
+        // vtxProp (monitored) arrays — PageRank's source reads go to its
+        // auxiliary previous-rank array and do not count.
+        let specs = ctx.prop_specs();
+        let raw = tracer.finish();
+        let monitored_src_reads = raw
+            .per_core
+            .iter()
+            .flatten()
+            .filter(|e| match e {
+                omega_ligra::trace::TraceEvent::PropReadSrc { id, .. } => {
+                    specs[*id as usize].monitored
+                }
+                _ => false,
+            })
+            .count();
+        if algo.spec().reads_src_prop {
+            assert!(monitored_src_reads > 0, "{} declares source-property reads", algo.name());
+        } else {
+            assert_eq!(
+                monitored_src_reads,
+                0,
+                "{} declares no (monitored) source-property reads",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn hot_access_shares_differ_by_graph_class() {
+    // The Fig. 5 dichotomy, asserted as an invariant: for every
+    // vtxProp-heavy algorithm, the top-20% access share on a natural graph
+    // must exceed the road-network share by a wide margin.
+    let nat = natural();
+    let rd = road();
+    for algo in [Algo::PageRank { iters: 1 }, Algo::Bfs { root: 0 }, Algo::Sssp { root: 0 }] {
+        let run_share = |g: &CsrGraph| {
+            let algo = algo.with_default_root(g);
+            let exec = ExecConfig::default();
+            let mut tracer = CollectingTracer::new(exec.n_cores);
+            let mut ctx = Ctx::new(exec, &mut tracer);
+            algo.run(g, &mut ctx);
+            let hot = (g.num_vertices() as f64 * 0.2).ceil() as u32;
+            tracer.finish().prop_access_fraction_below(hot)
+        };
+        let natural_share = run_share(&nat);
+        let road_share = run_share(&rd);
+        assert!(
+            natural_share > road_share + 0.25,
+            "{}: natural {natural_share:.2} vs road {road_share:.2}",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn every_algorithm_runs_on_every_compatible_dataset_class() {
+    for g in [natural(), road()] {
+        for algo in ALL_ALGOS {
+            let algo = algo.with_default_root(&g);
+            if !algo.supports(&g) {
+                continue;
+            }
+            let c = classify(&g, algo);
+            assert!(c.total() > 0, "{} produced an empty trace", algo.name());
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Set-associative cache array mechanics: lookup, fill, LRU eviction, and
+//! MESI line states. Policy (when to fill, what state to install) is decided
+//! by the owning hierarchy; this module only provides the mechanics.
+
+use crate::config::CacheConfig;
+use crate::line_of;
+
+/// MESI coherence state of one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// Present, clean, possibly in other caches.
+    Shared,
+    /// Present, clean, only copy.
+    Exclusive,
+    /// Present, dirty, only copy.
+    Modified,
+}
+
+impl LineState {
+    /// Whether this state permits a store without an upgrade.
+    pub fn writable(self) -> bool {
+        matches!(self, LineState::Exclusive | LineState::Modified)
+    }
+
+    /// Whether a writeback is needed on eviction.
+    pub fn dirty(self) -> bool {
+        matches!(self, LineState::Modified)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    line: u64,
+    state: LineState,
+    lru: u64,
+    pinned: bool,
+}
+
+/// A set-associative cache array with LRU replacement.
+///
+/// Addresses are tracked at line (64 B) granularity; the array stores no
+/// data, only tags and states — the simulator is timing-only.
+///
+/// # Example
+///
+/// ```
+/// use omega_sim::cache::{CacheArray, LineState};
+/// use omega_sim::CacheConfig;
+///
+/// let mut l1 = CacheArray::new(&CacheConfig { capacity: 512, ways: 4, latency: 2 });
+/// assert_eq!(l1.lookup(0x40), None); // cold miss
+/// l1.insert(0x40, LineState::Exclusive);
+/// assert_eq!(l1.lookup(0x40), Some(LineState::Exclusive));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    sets: Vec<Vec<Slot>>,
+    ways: usize,
+    tick: u64,
+}
+
+/// Result of inserting a line: the victim, if a valid line was evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Line address of the victim.
+    pub line: u64,
+    /// Its state at eviction (dirty ⇒ the caller must write it back).
+    pub state: LineState,
+}
+
+impl CacheArray {
+    /// Creates an empty array with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields zero sets or zero ways.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets() as usize;
+        let ways = cfg.ways as usize;
+        assert!(
+            sets > 0 && ways > 0,
+            "cache must have at least one set and way"
+        );
+        CacheArray {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            tick: 0,
+        }
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        ((line / crate::LINE_BYTES) % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up the line containing `addr`; updates LRU on hit.
+    pub fn lookup(&mut self, addr: u64) -> Option<LineState> {
+        let line = line_of(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        set.iter_mut().find(|s| s.line == line).map(|s| {
+            s.lru = tick;
+            s.state
+        })
+    }
+
+    /// Peeks at the state without touching LRU (used by directory probes).
+    pub fn peek(&self, addr: u64) -> Option<LineState> {
+        let line = line_of(addr);
+        let idx = self.set_index(line);
+        self.sets[idx]
+            .iter()
+            .find(|s| s.line == line)
+            .map(|s| s.state)
+    }
+
+    /// Changes the state of a resident line; returns `false` if absent.
+    pub fn set_state(&mut self, addr: u64, state: LineState) -> bool {
+        let line = line_of(addr);
+        let idx = self.set_index(line);
+        match self.sets[idx].iter_mut().find(|s| s.line == line) {
+            Some(s) => {
+                s.state = state;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts the line containing `addr` in `state`, evicting the LRU
+    /// victim if the set is full. Re-inserting a resident line just updates
+    /// its state.
+    pub fn insert(&mut self, addr: u64, state: LineState) -> Option<Eviction> {
+        let line = line_of(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(line);
+        let ways = self.ways;
+        let set = &mut self.sets[idx];
+        if let Some(s) = set.iter_mut().find(|s| s.line == line) {
+            s.state = state;
+            s.lru = tick;
+            return None;
+        }
+        if set.len() < ways {
+            set.push(Slot {
+                line,
+                state,
+                lru: tick,
+                pinned: false,
+            });
+            return None;
+        }
+        // Victimise the least-recently-used *unpinned* line (§IX locked
+        // cache: pinned lines have their replacement disabled). A set made
+        // entirely of pinned lines cannot host the newcomer: the access is
+        // served but not cached.
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.pinned)
+            .min_by_key(|(_, s)| s.lru)
+            .map(|(i, _)| i);
+        let Some(victim_idx) = victim_idx else {
+            return None; // bypass: fully pinned set
+        };
+        let victim = set[victim_idx];
+        set[victim_idx] = Slot {
+            line,
+            state,
+            lru: tick,
+            pinned: false,
+        };
+        Some(Eviction {
+            line: victim.line,
+            state: victim.state,
+        })
+    }
+
+    /// Pins the line containing `addr` into its set (loading it `Shared` if
+    /// absent), disabling its replacement — the locked-cache technique the
+    /// paper discusses as an alternative to scratchpads (§IX). As on real
+    /// lockdown hardware (e.g. ARM way-lockdown), at most half of a set's
+    /// ways may be locked; pinning beyond that is refused (returns
+    /// `false`) so ordinary traffic keeps associativity.
+    pub fn pin(&mut self, addr: u64) -> bool {
+        let line = line_of(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(line);
+        let ways = self.ways;
+        let set = &mut self.sets[idx];
+        if let Some(s) = set.iter_mut().find(|s| s.line == line) {
+            s.pinned = true;
+            return true;
+        }
+        let pinned_ways = set.iter().filter(|s| s.pinned).count();
+        if pinned_ways + 1 > (ways / 2).max(1).min(ways - 1) {
+            return false; // lockdown cap: at most half the ways, always one free
+        }
+        if set.len() < ways {
+            set.push(Slot {
+                line,
+                state: LineState::Shared,
+                lru: tick,
+                pinned: true,
+            });
+            return true;
+        }
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.pinned)
+            .min_by_key(|(_, s)| s.lru)
+            .map(|(i, _)| i)
+            .expect("pinned_ways + 1 < ways implies an unpinned way exists");
+        set[victim_idx] = Slot {
+            line,
+            state: LineState::Shared,
+            lru: tick,
+            pinned: true,
+        };
+        true
+    }
+
+    /// Number of pinned lines.
+    pub fn pinned_count(&self) -> usize {
+        self.sets.iter().flatten().filter(|s| s.pinned).count()
+    }
+
+    /// Removes the line containing `addr`; returns its state if it was
+    /// present (coherence invalidation).
+    pub fn invalidate(&mut self, addr: u64) -> Option<LineState> {
+        let line = line_of(addr);
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        set.iter()
+            .position(|s| s.line == line)
+            .map(|i| set.swap_remove(i).state)
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn tiny() -> CacheArray {
+        // 2 sets × 2 ways of 64B lines = 256B.
+        CacheArray::new(&CacheConfig {
+            capacity: 256,
+            ways: 2,
+            latency: 1,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.lookup(0x40), None);
+        assert_eq!(c.insert(0x40, LineState::Shared), None);
+        assert_eq!(c.lookup(0x40), Some(LineState::Shared));
+        // Same line, different offset.
+        assert_eq!(c.lookup(0x7F), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0x000, 0x080, 0x100 map to set 0 (stride 2 lines).
+        c.insert(0x000, LineState::Shared);
+        c.insert(0x080, LineState::Shared);
+        c.lookup(0x000); // make 0x080 the LRU
+        let ev = c.insert(0x100, LineState::Shared).unwrap();
+        assert_eq!(ev.line, 0x080);
+        assert_eq!(c.lookup(0x000), Some(LineState::Shared));
+        assert_eq!(c.lookup(0x080), None);
+    }
+
+    #[test]
+    fn eviction_reports_dirty_state() {
+        let mut c = tiny();
+        c.insert(0x000, LineState::Modified);
+        c.insert(0x080, LineState::Shared);
+        let ev = c.insert(0x100, LineState::Shared).unwrap();
+        assert_eq!(ev.state, LineState::Modified);
+        assert!(ev.state.dirty());
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.insert(0x40, LineState::Exclusive);
+        assert_eq!(c.invalidate(0x40), Some(LineState::Exclusive));
+        assert_eq!(c.invalidate(0x40), None);
+        assert_eq!(c.lookup(0x40), None);
+    }
+
+    #[test]
+    fn reinsert_updates_state_without_eviction() {
+        let mut c = tiny();
+        c.insert(0x40, LineState::Shared);
+        assert_eq!(c.insert(0x40, LineState::Modified), None);
+        assert_eq!(c.peek(0x40), Some(LineState::Modified));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn set_state_only_touches_resident_lines() {
+        let mut c = tiny();
+        assert!(!c.set_state(0x40, LineState::Modified));
+        c.insert(0x40, LineState::Shared);
+        assert!(c.set_state(0x40, LineState::Modified));
+    }
+
+    #[test]
+    fn writable_states() {
+        assert!(!LineState::Shared.writable());
+        assert!(LineState::Exclusive.writable());
+        assert!(LineState::Modified.writable());
+    }
+
+    #[test]
+    fn pinned_lines_survive_thrashing() {
+        let mut c = tiny();
+        assert!(c.pin(0x000));
+        // Stream conflicting lines through set 0.
+        for i in 1..20u64 {
+            c.insert(i * 0x80, LineState::Shared);
+        }
+        assert_eq!(
+            c.lookup(0x000),
+            Some(LineState::Shared),
+            "pinned line must remain"
+        );
+        assert_eq!(c.pinned_count(), 1);
+    }
+
+    #[test]
+    fn pinning_keeps_one_evictable_way() {
+        let mut c = tiny(); // 2 ways per set
+        assert!(c.pin(0x000));
+        assert!(!c.pin(0x080), "second pin would fill set 0 entirely");
+        assert_eq!(c.pinned_count(), 1);
+    }
+
+    #[test]
+    fn fully_pinned_insert_bypasses() {
+        // 1-way cache: pinning is refused, so force the scenario manually
+        // with a 2-way cache where one way is pinned and one is busy.
+        let mut c = tiny();
+        c.pin(0x000);
+        c.insert(0x080, LineState::Shared);
+        // Inserting a third conflicting line evicts the unpinned one.
+        let ev = c.insert(0x100, LineState::Shared).unwrap();
+        assert_eq!(ev.line, 0x080);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        c.insert(0x000, LineState::Shared); // set 0
+        c.insert(0x040, LineState::Shared); // set 1
+        c.insert(0x080, LineState::Shared); // set 0
+        assert_eq!(c.occupancy(), 3);
+    }
+}

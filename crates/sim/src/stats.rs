@@ -1,0 +1,240 @@
+//! Statistics counters collected by the simulator components.
+//!
+//! Everything is plain counters so `omega-energy` can turn activity into
+//! energy, and the figure harness can print hit rates, traffic, and
+//! bandwidth utilisation directly.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss counters for one cache level (aggregated over instances).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back to the next level.
+    pub writebacks: u64,
+    /// Lines invalidated by coherence actions.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Accumulates another instance's counters.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+        self.invalidations += other.invalidations;
+    }
+}
+
+/// On-chip interconnect traffic counters (Fig. 17's quantity).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocStats {
+    /// Packets sent.
+    pub packets: u64,
+    /// Total payload + header bytes moved.
+    pub bytes: u64,
+    /// Cycles spent queueing behind busy ports (contention).
+    pub contention_cycles: u64,
+}
+
+/// DRAM activity counters (Fig. 16's quantity).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Read requests (line granularity).
+    pub reads: u64,
+    /// Write requests (writebacks).
+    pub writes: u64,
+    /// Bytes transferred in either direction.
+    pub bytes: u64,
+    /// Total cycles during which channels were busy transferring
+    /// (summed over channels).
+    pub busy_cycles: u64,
+    /// Cycles requests waited behind busy channels.
+    pub queue_cycles: u64,
+    /// Open-page row-buffer hits (zero under the default close-page
+    /// policy; populated by the §IX hybrid-policy extension).
+    pub row_hits: u64,
+}
+
+impl DramStats {
+    /// Achieved bandwidth as a fraction of peak, given the elapsed cycles
+    /// and the per-channel peak bytes/cycle. This is the Fig. 16
+    /// "DRAM bandwidth utilisation" metric.
+    pub fn utilization(&self, elapsed_cycles: u64, channels: usize) -> f64 {
+        if elapsed_cycles == 0 {
+            return 0.0;
+        }
+        self.busy_cycles as f64 / (elapsed_cycles as f64 * channels as f64)
+    }
+
+    /// Average achieved bytes per cycle over the run.
+    pub fn achieved_bytes_per_cycle(&self, elapsed_cycles: u64) -> f64 {
+        if elapsed_cycles == 0 {
+            return 0.0;
+        }
+        self.bytes as f64 / elapsed_cycles as f64
+    }
+}
+
+/// Per-line-locked atomic execution counters (baseline cores or PISCs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AtomicStats {
+    /// Atomic operations executed.
+    pub executed: u64,
+    /// Cycles spent serialised behind a locked line/vertex.
+    pub lock_wait_cycles: u64,
+}
+
+/// Scratchpad counters (OMEGA machines only; zero on the baseline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScratchpadStats {
+    /// Accesses served by the local scratchpad.
+    pub local_accesses: u64,
+    /// Accesses served by a remote scratchpad over the crossbar.
+    pub remote_accesses: u64,
+    /// Requests that fell outside the scratchpad-resident range and went to
+    /// the regular cache hierarchy.
+    pub range_misses: u64,
+    /// Atomic operations offloaded to PISC engines.
+    pub pisc_ops: u64,
+    /// Cycles PISC engines were busy.
+    pub pisc_busy_cycles: u64,
+    /// Source-vertex-buffer hits (§V.C).
+    pub svb_hits: u64,
+    /// Source-vertex-buffer misses.
+    pub svb_misses: u64,
+    /// Active-list update operations absorbed by scratchpad bits.
+    pub active_list_updates: u64,
+    /// Cold-vertex atomics offloaded to memory-side PIM engines
+    /// (§IX.2 extension; zero on standard OMEGA).
+    pub pim_ops: u64,
+    /// Cold-vertex accesses served by word-granularity DRAM reads/writes
+    /// (§IX.1 extension; zero on standard OMEGA).
+    pub word_dram_accesses: u64,
+}
+
+impl ScratchpadStats {
+    /// Total scratchpad data accesses (local + remote).
+    pub fn accesses(&self) -> u64 {
+        self.local_accesses + self.remote_accesses
+    }
+}
+
+/// Combined memory-system statistics returned by every machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// L1 data caches (all cores merged).
+    pub l1: CacheStats,
+    /// Shared L2 (all banks merged).
+    pub l2: CacheStats,
+    /// Crossbar traffic.
+    pub noc: NocStats,
+    /// Off-chip memory.
+    pub dram: DramStats,
+    /// Atomic execution.
+    pub atomics: AtomicStats,
+    /// Scratchpad + PISC (zero for the baseline).
+    pub scratchpad: ScratchpadStats,
+}
+
+impl MemStats {
+    /// Last-level *storage* hit rate: the paper's Fig. 15 metric. For the
+    /// baseline this is the L2 hit rate; for OMEGA it counts scratchpad
+    /// accesses as hits alongside L2 hits (the scratchpad never misses once
+    /// a vertex is resident).
+    pub fn last_level_hit_rate(&self) -> f64 {
+        let hits = self.l2.hits + self.scratchpad.accesses();
+        let total = self.l2.accesses() + self.scratchpad.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CacheStats {
+            hits: 1,
+            misses: 2,
+            writebacks: 3,
+            invalidations: 4,
+        };
+        a.merge(&CacheStats {
+            hits: 10,
+            misses: 20,
+            writebacks: 30,
+            invalidations: 40,
+        });
+        assert_eq!(
+            a,
+            CacheStats {
+                hits: 11,
+                misses: 22,
+                writebacks: 33,
+                invalidations: 44
+            }
+        );
+    }
+
+    #[test]
+    fn utilization_is_busy_fraction() {
+        let d = DramStats {
+            busy_cycles: 400,
+            ..Default::default()
+        };
+        assert!((d.utilization(100, 4) - 1.0).abs() < 1e-12);
+        assert_eq!(d.utilization(0, 4), 0.0);
+    }
+
+    #[test]
+    fn last_level_hit_rate_counts_scratchpad_as_hits() {
+        let m = MemStats {
+            l2: CacheStats {
+                hits: 10,
+                misses: 10,
+                ..Default::default()
+            },
+            scratchpad: ScratchpadStats {
+                local_accesses: 60,
+                remote_accesses: 20,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!((m.last_level_hit_rate() - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Focused coherence-protocol tests for the baseline hierarchy: state
+//! transitions, writeback paths, and stat-consistency rules that the
+//! in-module unit tests do not cover.
+
+use omega_sim::hierarchy::CacheHierarchy;
+use omega_sim::{AccessKind, AtomicKind, MachineConfig, MemAccess, MemorySystem, LINE_BYTES};
+
+fn mini() -> (MachineConfig, CacheHierarchy) {
+    let cfg = MachineConfig::mini_baseline();
+    let h = CacheHierarchy::new(&cfg);
+    (cfg, h)
+}
+
+#[test]
+fn exclusive_line_upgrades_silently_on_write() {
+    let (_, mut h) = mini();
+    // Sole reader: the line arrives Exclusive.
+    h.access(0, MemAccess::read(0x4000, 8), 0);
+    let before = h.stats();
+    // Writing an Exclusive line needs no bank round trip and no invalidations.
+    let out = h.access(0, MemAccess::write(0x4000, 8), 1000);
+    let after = h.stats();
+    assert_eq!(after.l1.hits, before.l1.hits + 1);
+    assert_eq!(after.l1.invalidations, before.l1.invalidations);
+    assert_eq!(after.noc.packets, before.noc.packets, "silent E→M upgrade");
+    assert_eq!(out.completion, 1000 + 2, "L1-latency write");
+}
+
+#[test]
+fn shared_line_upgrade_invalidates_exactly_the_sharers() {
+    let (_, mut h) = mini();
+    for core in 0..4 {
+        h.access(core, MemAccess::read(0x4000, 8), core as u64 * 100);
+    }
+    h.access(0, MemAccess::write(0x4000, 8), 10_000);
+    assert_eq!(h.stats().l1.invalidations, 3, "three other sharers");
+}
+
+#[test]
+fn read_after_remote_write_reuses_forwarded_line() {
+    let (_, mut h) = mini();
+    h.access(0, MemAccess::write(0x4000, 8), 0);
+    h.access(1, MemAccess::read(0x4000, 8), 1000); // dirty forward
+    let dram_reads = h.stats().dram.reads;
+    // Both cores now share the line; re-reads are L1 hits.
+    h.access(0, MemAccess::read(0x4000, 8), 2000);
+    h.access(1, MemAccess::read(0x4000, 8), 2000);
+    let s = h.stats();
+    assert_eq!(s.dram.reads, dram_reads, "no extra DRAM trips");
+    assert_eq!(s.l1.hits, 2);
+}
+
+#[test]
+fn dirty_victim_round_trips_through_l2_to_dram() {
+    // Tiny L1 (8 lines) and a tiny L2 so dirty data is squeezed all the way
+    // out to memory.
+    let cfg = MachineConfig {
+        l1: omega_sim::CacheConfig {
+            capacity: 256,
+            ways: 2,
+            latency: 2,
+        },
+        l2: omega_sim::CacheConfig {
+            capacity: 512,
+            ways: 2,
+            latency: 10,
+        },
+        ..MachineConfig::mini_baseline()
+    };
+    let mut h = CacheHierarchy::new(&cfg);
+    // Stream dirty lines across all banks: the 4-line L1 spills dirty
+    // victims into the L2 long before the 128-line L2 fills, and the L2
+    // eventually spills to DRAM.
+    for i in 0..600u64 {
+        h.access(0, MemAccess::write(i * LINE_BYTES, 8), i * 3_000);
+    }
+    let s = h.stats();
+    assert!(s.l1.writebacks > 0, "dirty L1 victims must write back");
+    assert!(s.l2.writebacks > 0, "dirty L2 victims must reach DRAM");
+    assert!(s.dram.writes > 0);
+}
+
+#[test]
+fn read_stable_is_plain_read_on_the_baseline() {
+    let (_, mut h) = mini();
+    let plain = h.access(0, MemAccess::read(0x4000, 8), 0);
+    let (_, mut h2) = mini();
+    let stable = h2.access(
+        0,
+        MemAccess {
+            addr: 0x4000,
+            size: 8,
+            kind: AccessKind::ReadStable,
+        },
+        0,
+    );
+    assert_eq!(plain.completion, stable.completion);
+    assert_eq!(plain.blocking, stable.blocking);
+    assert_eq!(h.stats(), h2.stats());
+}
+
+#[test]
+fn atomic_then_read_from_same_core_hits() {
+    let (_, mut h) = mini();
+    h.access(0, MemAccess::atomic(0x4000, 8, AtomicKind::SignedAdd), 0);
+    let before_misses = h.stats().l1.misses;
+    h.access(0, MemAccess::read(0x4000, 8), 5000);
+    assert_eq!(
+        h.stats().l1.misses,
+        before_misses,
+        "atomic installed the line Modified"
+    );
+}
+
+#[test]
+fn l2_accesses_never_exceed_l1_misses_plus_writebacks() {
+    let (cfg, mut h) = mini();
+    // A random-ish mix.
+    for i in 0..2_000u64 {
+        let addr = (i * 2_654_435_761) % (1 << 20);
+        let core = (i % cfg.core.n_cores as u64) as usize;
+        match i % 3 {
+            0 => h.access(core, MemAccess::read(addr, 8), i * 50),
+            1 => h.access(core, MemAccess::write(addr, 8), i * 50),
+            _ => h.access(core, MemAccess::atomic(addr, 8, AtomicKind::FpAdd), i * 50),
+        };
+    }
+    let s = h.stats();
+    assert!(
+        s.l2.accesses() <= s.l1.misses + s.l1.writebacks,
+        "L2 sees only L1 misses (dirty-forward hits are counted at the bank): {} vs {}",
+        s.l2.accesses(),
+        s.l1.misses + s.l1.writebacks
+    );
+    assert!(
+        s.dram.reads <= s.l2.misses,
+        "DRAM reads come from L2 misses only"
+    );
+}
+
+#[test]
+fn line_locks_clear_after_completion_window() {
+    let (_, mut h) = mini();
+    let a = h.access(0, MemAccess::atomic(0x4000, 8, AtomicKind::FpAdd), 0);
+    // Long after the lock window, a second atomic pays no lock wait.
+    let before = h.stats().atomics.lock_wait_cycles;
+    h.access(
+        1,
+        MemAccess::atomic(0x4000, 8, AtomicKind::FpAdd),
+        a.completion + 10_000,
+    );
+    assert_eq!(h.stats().atomics.lock_wait_cycles, before);
+}

@@ -1,0 +1,6 @@
+//! Root crate: re-exports the OMEGA reproduction crates for examples and integration tests.
+pub use omega_core as core;
+pub use omega_energy as energy;
+pub use omega_graph as graph;
+pub use omega_ligra as ligra;
+pub use omega_sim as sim;
