@@ -1,7 +1,7 @@
 //! Benchmarks of the graph substrate and the vertex-centric framework:
 //! generation, reordering, and the edge_map primitives in both directions.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use omega_bench::microbench::{black_box, BenchmarkId, Criterion};
 use omega_graph::{generators, reorder, stats};
 use omega_ligra::edge_map::{edge_map, Activation, Direction};
 use omega_ligra::trace::{CollectingTracer, NullTracer};
@@ -159,12 +159,11 @@ fn bench_native(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_generation,
-    bench_reorder,
-    bench_edge_map,
-    bench_algorithms,
-    bench_native
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_generation(&mut c);
+    bench_reorder(&mut c);
+    bench_edge_map(&mut c);
+    bench_algorithms(&mut c);
+    bench_native(&mut c);
+}

@@ -3,7 +3,7 @@
 //! simulated-events-per-second, the number that bounds how large a dataset
 //! the harness can afford.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use omega_bench::microbench::{black_box, Criterion};
 use omega_core::config::SystemConfig;
 use omega_core::layout::Layout;
 use omega_core::lower::{lower, Target};
@@ -37,5 +37,7 @@ fn bench_pipeline(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_pipeline(&mut c);
+}

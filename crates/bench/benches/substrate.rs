@@ -3,7 +3,7 @@
 //! dispatch, and microcode execution. These guard the simulator's own
 //! performance (the harness replays tens of millions of events).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use omega_bench::microbench::{black_box, Criterion};
 use omega_core::microcode;
 use omega_core::pisc::PiscEngine;
 use omega_sim::cache::{CacheArray, LineState};
@@ -105,5 +105,10 @@ fn bench_pisc(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_cache, bench_noc, bench_dram, bench_pisc);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_cache(&mut c);
+    bench_noc(&mut c);
+    bench_dram(&mut c);
+    bench_pisc(&mut c);
+}

@@ -1117,11 +1117,19 @@ fn abl_locked(s: &mut Session) {
 /// paper's way: lower every atomic to a plain store and compare (the paper
 /// reports "an overhead of up to 50%" on real hardware).
 fn abl_atomics(s: &mut Session) {
-    banner("abl-atomics", "§III atomic-instruction overhead on the baseline (paper: up to 50%)");
+    banner(
+        "abl-atomics",
+        "§III atomic-instruction overhead on the baseline (paper: up to 50%)",
+    );
     use omega_core::layout::Layout;
     use omega_core::lower::{lower, Target};
     use omega_sim::{engine, hierarchy::CacheHierarchy};
-    let mut t = Table::new(["workload", "with atomics", "plain stores", "atomic overhead %"]);
+    let mut t = Table::new([
+        "workload",
+        "with atomics",
+        "plain stores",
+        "atomic overhead %",
+    ]);
     for (d, a) in [
         (Dataset::Lj, AlgoKey::PageRank),
         (Dataset::Sd, AlgoKey::PageRank),

@@ -108,9 +108,9 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 .map(|v| v.parse())
                 .transpose()?
                 .unwrap_or(10);
-            for (core, stream) in raw.per_core.iter().enumerate() {
-                println!("core {core}: {} events", stream.len());
-                for ev in stream.iter().take(limit) {
+            for core in 0..raw.n_cores() {
+                println!("core {core}: {} events", raw.core_len(core));
+                for ev in raw.core_events(core).take(limit) {
                     println!("  {ev:?}");
                 }
             }

@@ -22,8 +22,12 @@ fn main() -> ExitCode {
     let mut checks: Vec<Check> = Vec::new();
 
     // 1. Functional equivalence across machines.
-    let base = s.report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline).clone();
-    let omega = s.report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Omega).clone();
+    let base = s
+        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline)
+        .clone();
+    let omega = s
+        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Omega)
+        .clone();
     checks.push(Check {
         name: "machines compute identical results",
         ok: base.checksum == omega.checksum,
@@ -67,10 +71,18 @@ fn main() -> ExitCode {
     // graphs fit the standard scratchpads whole, so the crossover is only
     // visible with capacity-constrained scratchpads (~6% of standard).
     let constrained = MachineKind::OmegaScaledSp { permille: 63 };
-    let lb = s.report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline).total_cycles;
-    let lo = s.report(Dataset::Lj, AlgoKey::PageRank, constrained).total_cycles;
-    let rb = s.report(Dataset::Usa, AlgoKey::PageRank, MachineKind::Baseline).total_cycles;
-    let ro = s.report(Dataset::Usa, AlgoKey::PageRank, constrained).total_cycles;
+    let lb = s
+        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline)
+        .total_cycles;
+    let lo = s
+        .report(Dataset::Lj, AlgoKey::PageRank, constrained)
+        .total_cycles;
+    let rb = s
+        .report(Dataset::Usa, AlgoKey::PageRank, MachineKind::Baseline)
+        .total_cycles;
+    let ro = s
+        .report(Dataset::Usa, AlgoKey::PageRank, constrained)
+        .total_cycles;
     let lj_constrained = lb as f64 / lo as f64;
     let road_constrained = rb as f64 / ro as f64;
     checks.push(Check {
@@ -80,7 +92,9 @@ fn main() -> ExitCode {
     });
 
     // 7. Determinism.
-    let again = s.report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline).clone();
+    let again = s
+        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline)
+        .clone();
     checks.push(Check {
         name: "simulation is deterministic",
         ok: again == base,
@@ -88,7 +102,9 @@ fn main() -> ExitCode {
     });
 
     // 8. PISC ablation loses speedup.
-    let nopisc = s.report(Dataset::Lj, AlgoKey::PageRank, MachineKind::OmegaNoPisc).total_cycles;
+    let nopisc = s
+        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::OmegaNoPisc)
+        .total_cycles;
     checks.push(Check {
         name: "removing PISCs costs performance",
         ok: nopisc > omega.total_cycles,
@@ -97,7 +113,12 @@ fn main() -> ExitCode {
 
     let mut failed = 0;
     for c in &checks {
-        println!("[{}] {} — {}", if c.ok { "PASS" } else { "FAIL" }, c.name, c.detail);
+        println!(
+            "[{}] {} — {}",
+            if c.ok { "PASS" } else { "FAIL" },
+            c.name,
+            c.detail
+        );
         if !c.ok {
             failed += 1;
         }

@@ -2,7 +2,7 @@
 //!
 //! The benchmark harness of the OMEGA reproduction: shared experiment
 //! plumbing for the `figures` binary (which regenerates every table and
-//! figure of the paper) and the Criterion micro-benchmarks.
+//! figure of the paper) and the micro-benchmarks.
 //!
 //! The heart is [`Session`], a memoising runner: each
 //! `(dataset, algorithm, machine)` triple is simulated once and the
@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod microbench;
 pub mod session;
 pub mod table;
 

@@ -1,0 +1,155 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The repository builds hermetically (no crates.io), so Criterion is
+//! replaced by this small shim exposing the subset of its API the bench
+//! targets use: `Criterion::bench_function`, benchmark groups,
+//! `bench_with_input`, and `Bencher::iter`. Each benchmark is warmed up,
+//! then timed adaptively until it accumulates enough wall-clock signal,
+//! and the mean ns/iter is printed on one line.
+//!
+//! These numbers guard the simulator's own speed (the harness replays tens
+//! of millions of events); they are indicative, not statistically rigorous.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimisation barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Minimum accumulated measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Hard cap on measured iterations (keeps slow end-to-end benches bounded).
+const MAX_ITERS: u64 = 100_000;
+
+/// Top-level benchmark driver (API-compatible subset of Criterion's).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Creates a driver.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        run_one(name, &mut f);
+    }
+
+    /// Opens a named group; benchmarks print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> Group {
+        Group {
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Accepted for Criterion compatibility; the shim sizes adaptively.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.label), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A `name/parameter` benchmark label.
+#[derive(Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds the `name/parameter` label.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly (one warm-up call, then timed batches).
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        black_box(f()); // warm-up: touch caches, fault pages
+        let mut batch = 1u64;
+        while self.elapsed < TARGET && self.iters < MAX_ITERS {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.elapsed += start.elapsed();
+            self.iters += batch;
+            batch = (batch * 2).min(MAX_ITERS - self.iters).max(1);
+            if self.iters >= MAX_ITERS {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<40} (no measurement)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    println!("{label:<40} {ns:>14.1} ns/iter  ({} iters)", b.iters);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts() {
+        let mut b = Bencher::default();
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert!(b.iters > 0);
+        assert_eq!(n, b.iters + 1); // +1 warm-up call
+    }
+
+    #[test]
+    fn group_labels_compose() {
+        let id = BenchmarkId::new("rmat", 12);
+        assert_eq!(id.label, "rmat/12");
+    }
+}

@@ -6,7 +6,6 @@
 //! All latency parameters stay at their Table III values at every scale.
 
 use omega_sim::{Cycle, MachineConfig};
-use serde::{Deserialize, Serialize};
 
 /// The off-chip memory extensions the paper defers to future work (§IX
 /// "Optimizing access to the least-connected vertices"), implemented here
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 ///    (the hybrid PISC + PIM architecture),
 /// 3. a hybrid page policy: open-page for streamed structures, close-page
 ///    for the randomly-accessed cold vtxProp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OffchipExtensions {
     /// §IX.1 — cold vtxProp reads/writes bypass the caches as word-sized
     /// DRAM accesses.
@@ -47,7 +46,7 @@ impl OffchipExtensions {
 }
 
 /// Parameters of OMEGA's scratchpad/PISC extension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OmegaConfig {
     /// Scratchpad capacity per core, in bytes (Table III: 1 MB at paper
     /// scale; 8 KB in the mini preset).
@@ -93,7 +92,7 @@ impl Default for OmegaConfig {
 
 /// A complete machine: the CMP substrate plus, optionally, the OMEGA
 /// extension. `omega == None` is the baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// The CMP substrate (cores, caches, NoC, DRAM). For an OMEGA machine
     /// this already carries the *halved* L2.

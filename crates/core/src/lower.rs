@@ -11,7 +11,7 @@
 
 use crate::layout::Layout;
 use omega_ligra::trace::{RawTrace, TraceEvent};
-use omega_sim::{AccessKind, CoreOp, MemAccess, Trace};
+use omega_sim::{AccessKind, CoreOp, MemAccess, OpSource, Trace};
 
 /// Which machine the trace is being lowered for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,106 +30,154 @@ pub enum Target {
     },
 }
 
-/// Lowers a collected trace into per-core simulator operation streams.
-pub fn lower(raw: &RawTrace, layout: &Layout, target: Target) -> Vec<Trace> {
-    raw.per_core
-        .iter()
-        .enumerate()
-        .map(|(core, events)| {
-            let mut ops: Vec<CoreOp> = Vec::with_capacity(events.len());
-            let mut sparse_out_slot: u64 = 0;
-            let mut ngraph_slot: u64 = 0;
-            for ev in events {
-                match *ev {
-                    TraceEvent::Compute(x100) => ops.push(CoreOp::ComputeX100(x100)),
-                    TraceEvent::PropRead { id, v } => {
-                        ops.push(CoreOp::Access(MemAccess::read(
-                            layout.prop_addr(id, v),
-                            layout.prop_entry_bytes(id) as u8,
-                        )));
-                    }
-                    TraceEvent::PropReadSrc { id, v } => {
-                        ops.push(CoreOp::Access(MemAccess {
-                            addr: layout.prop_addr(id, v),
-                            size: layout.prop_entry_bytes(id) as u8,
-                            kind: AccessKind::ReadStable,
-                        }));
-                    }
-                    TraceEvent::PropWrite { id, v } => {
-                        ops.push(CoreOp::Access(MemAccess::write(
-                            layout.prop_addr(id, v),
-                            layout.prop_entry_bytes(id) as u8,
-                        )));
-                    }
-                    TraceEvent::PropAtomic { id, v, kind } => {
-                        let access = if target == Target::BaselinePlainAtomics {
-                            MemAccess::write(
-                                layout.prop_addr(id, v),
-                                layout.prop_entry_bytes(id) as u8,
-                            )
-                        } else {
-                            MemAccess::atomic(
-                                layout.prop_addr(id, v),
-                                layout.prop_entry_bytes(id) as u8,
-                                kind,
-                            )
-                        };
-                        ops.push(CoreOp::Access(access));
-                    }
-                    TraceEvent::EdgeRead { arc } => {
-                        ops.push(CoreOp::Access(MemAccess::read(
-                            layout.edge_addr(arc),
-                            layout.arc_bytes() as u8,
-                        )));
-                    }
-                    TraceEvent::FrontierRead { index, dense } => {
-                        let addr = if dense {
-                            layout.dense_frontier_addr(index)
-                        } else {
-                            layout.sparse_frontier_addr(index)
-                        };
-                        ops.push(CoreOp::Access(MemAccess::read(
-                            addr,
-                            if dense { 8 } else { 4 },
-                        )));
-                    }
-                    TraceEvent::FrontierWrite {
-                        vertex,
-                        dense,
-                        fused,
-                    } => {
-                        let absorbed = match target {
-                            Target::Omega { hot_count } => fused && dense && vertex < hot_count,
-                            Target::Baseline | Target::BaselinePlainAtomics => false,
-                        };
-                        if absorbed {
-                            continue;
-                        }
-                        if dense {
-                            ops.push(CoreOp::Access(MemAccess::write(
-                                layout.dense_frontier_addr(vertex as u64 / 64),
-                                8,
-                            )));
-                        } else {
-                            ops.push(CoreOp::Access(MemAccess::write(
-                                layout.sparse_out_addr(core, sparse_out_slot),
-                                4,
-                            )));
-                            sparse_out_slot += 1;
-                        }
-                    }
-                    TraceEvent::NGraph => {
-                        ops.push(CoreOp::Access(MemAccess::read(
-                            layout.ngraph_addr(core, ngraph_slot),
-                            8,
-                        )));
-                        ngraph_slot += 1;
-                    }
-                    TraceEvent::Barrier => ops.push(CoreOp::Barrier),
+/// Per-core progress of a [`LoweringStream`].
+#[derive(Debug, Clone, Copy, Default)]
+struct CoreCursor {
+    pos: usize,
+    sparse_out_slot: u64,
+    ngraph_slot: u64,
+}
+
+/// Lazily lowers a collected trace, one operation at a time.
+///
+/// This is the streaming half of the pipeline: the replay engine pulls
+/// [`CoreOp`]s through [`OpSource::next`] and each logical event is lowered
+/// on the fly, so the fully lowered trace — which would be as large as the
+/// functional trace itself — never exists in memory. Lowering is stateful
+/// per core (sparse-frontier and bookkeeping slots advance monotonically),
+/// and that state lives in the per-core cursors here.
+#[derive(Debug)]
+pub struct LoweringStream<'a> {
+    raw: &'a RawTrace,
+    layout: &'a Layout,
+    target: Target,
+    cursors: Vec<CoreCursor>,
+}
+
+impl<'a> LoweringStream<'a> {
+    /// Creates a stream over `raw` for `target`, starting at every core's
+    /// first event.
+    pub fn new(raw: &'a RawTrace, layout: &'a Layout, target: Target) -> Self {
+        LoweringStream {
+            raw,
+            layout,
+            target,
+            cursors: vec![CoreCursor::default(); raw.n_cores()],
+        }
+    }
+
+    /// Lowers one event; `None` means the event is absorbed (produces no
+    /// operation) and the caller should advance to the next event.
+    fn lower_event(&mut self, core: usize, ev: TraceEvent) -> Option<CoreOp> {
+        let layout = self.layout;
+        match ev {
+            TraceEvent::Compute(x100) => Some(CoreOp::ComputeX100(x100)),
+            TraceEvent::PropRead { id, v } => Some(CoreOp::Access(MemAccess::read(
+                layout.prop_addr(id, v),
+                layout.prop_entry_bytes(id) as u8,
+            ))),
+            TraceEvent::PropReadSrc { id, v } => Some(CoreOp::Access(MemAccess {
+                addr: layout.prop_addr(id, v),
+                size: layout.prop_entry_bytes(id) as u8,
+                kind: AccessKind::ReadStable,
+            })),
+            TraceEvent::PropWrite { id, v } => Some(CoreOp::Access(MemAccess::write(
+                layout.prop_addr(id, v),
+                layout.prop_entry_bytes(id) as u8,
+            ))),
+            TraceEvent::PropAtomic { id, v, kind } => {
+                let access = if self.target == Target::BaselinePlainAtomics {
+                    MemAccess::write(layout.prop_addr(id, v), layout.prop_entry_bytes(id) as u8)
+                } else {
+                    MemAccess::atomic(
+                        layout.prop_addr(id, v),
+                        layout.prop_entry_bytes(id) as u8,
+                        kind,
+                    )
+                };
+                Some(CoreOp::Access(access))
+            }
+            TraceEvent::EdgeRead { arc } => Some(CoreOp::Access(MemAccess::read(
+                layout.edge_addr(arc),
+                layout.arc_bytes() as u8,
+            ))),
+            TraceEvent::FrontierRead { index, dense } => {
+                let addr = if dense {
+                    layout.dense_frontier_addr(index)
+                } else {
+                    layout.sparse_frontier_addr(index)
+                };
+                Some(CoreOp::Access(MemAccess::read(
+                    addr,
+                    if dense { 8 } else { 4 },
+                )))
+            }
+            TraceEvent::FrontierWrite {
+                vertex,
+                dense,
+                fused,
+            } => {
+                let absorbed = match self.target {
+                    Target::Omega { hot_count } => fused && dense && vertex < hot_count,
+                    Target::Baseline | Target::BaselinePlainAtomics => false,
+                };
+                if absorbed {
+                    None
+                } else if dense {
+                    Some(CoreOp::Access(MemAccess::write(
+                        layout.dense_frontier_addr(vertex as u64 / 64),
+                        8,
+                    )))
+                } else {
+                    let slot = self.cursors[core].sparse_out_slot;
+                    self.cursors[core].sparse_out_slot += 1;
+                    Some(CoreOp::Access(MemAccess::write(
+                        layout.sparse_out_addr(core, slot),
+                        4,
+                    )))
                 }
             }
-            ops
-        })
+            TraceEvent::NGraph => {
+                let slot = self.cursors[core].ngraph_slot;
+                self.cursors[core].ngraph_slot += 1;
+                Some(CoreOp::Access(MemAccess::read(
+                    layout.ngraph_addr(core, slot),
+                    8,
+                )))
+            }
+            TraceEvent::Barrier => Some(CoreOp::Barrier),
+        }
+    }
+}
+
+impl OpSource for LoweringStream<'_> {
+    fn n_cores(&self) -> usize {
+        self.raw.n_cores()
+    }
+
+    fn next(&mut self, core: usize) -> Option<CoreOp> {
+        loop {
+            let pos = self.cursors[core].pos;
+            let ev = self.raw.event(core, pos)?;
+            self.cursors[core].pos += 1;
+            if let Some(op) = self.lower_event(core, ev) {
+                return Some(op);
+            }
+            // Absorbed event (free on this target): keep scanning.
+        }
+    }
+}
+
+/// Lowers a collected trace into fully materialised per-core operation
+/// streams.
+///
+/// Thin collecting wrapper over [`LoweringStream`] — kept for the trace
+/// tooling and the equivalence tests; the simulation paths replay the
+/// stream directly without materialising.
+pub fn lower(raw: &RawTrace, layout: &Layout, target: Target) -> Vec<Trace> {
+    let mut stream = LoweringStream::new(raw, layout, target);
+    (0..stream.n_cores())
+        .map(|core| std::iter::from_fn(|| stream.next(core)).collect())
         .collect()
 }
 
@@ -153,9 +201,7 @@ mod tests {
     }
 
     fn raw(events: Vec<TraceEvent>) -> RawTrace {
-        RawTrace {
-            per_core: vec![events],
-        }
+        RawTrace::from_events(vec![events])
     }
 
     #[test]
@@ -262,7 +308,11 @@ mod tests {
     fn plain_atomics_target_demotes_rmws_to_stores() {
         let l = layout();
         let t = lower(
-            &raw(vec![TraceEvent::PropAtomic { id: 0, v: 1, kind: AtomicKind::FpAdd }]),
+            &raw(vec![TraceEvent::PropAtomic {
+                id: 0,
+                v: 1,
+                kind: AtomicKind::FpAdd,
+            }]),
             &l,
             Target::BaselinePlainAtomics,
         );

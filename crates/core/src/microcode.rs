@@ -16,11 +16,10 @@
 //! computes exactly what the core-side atomic would have.
 
 use omega_sim::AtomicKind;
-use serde::{Deserialize, Serialize};
 
 /// ALU operations supported by the PISC (Fig. 9: "several operations
 /// corresponding to the atomic operations of the algorithms").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AluOp {
     /// IEEE-754 double addition (PageRank, BC).
     FAdd,
@@ -40,7 +39,7 @@ pub enum AluOp {
 /// One micro-operation of a PISC program. The register model is minimal:
 /// `acc` (accumulator), `op` (the operand delivered in the offload
 /// packet), and `r2` (an immediate loaded from the microcode).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MicroOp {
     /// Read the target vertex's property entry from the scratchpad into
     /// `acc`.
@@ -57,7 +56,7 @@ pub enum MicroOp {
 }
 
 /// A compiled PISC microcode program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     ops: Vec<MicroOp>,
     kind: AtomicKind,

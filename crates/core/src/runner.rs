@@ -8,9 +8,11 @@
 //! functional checksum (identical across machines — the architecture must
 //! not change results) and all timing/memory statistics.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::config::SystemConfig;
 use crate::layout::Layout;
-use crate::lower::{lower, Target};
+use crate::lower::{LoweringStream, Target};
 use crate::machine::OmegaMemory;
 use omega_graph::CsrGraph;
 use omega_ligra::algorithms::Algo;
@@ -19,10 +21,9 @@ use omega_ligra::{Ctx, ExecConfig};
 use omega_sim::hierarchy::CacheHierarchy;
 use omega_sim::stats::MemStats;
 use omega_sim::{engine, EngineReport};
-use serde::{Deserialize, Serialize};
 
 /// Everything needed to execute one run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunConfig {
     /// The machine (baseline or OMEGA).
     pub system: SystemConfig,
@@ -32,7 +33,7 @@ pub struct RunConfig {
 
 /// Serialisable mirror of [`ExecConfig`] (which lives in `omega-ligra` and
 /// stays serde-free).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub struct ExecConfigSer {
     pub n_cores: usize,
@@ -90,7 +91,7 @@ impl RunConfig {
 }
 
 /// The result of one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Algorithm name.
     pub algo: String,
@@ -129,9 +130,20 @@ impl RunReport {
     }
 }
 
+/// Number of functional (tracing) runs executed by this process — a probe
+/// for tests asserting that harnesses share traces instead of re-running
+/// the functional phase per machine configuration.
+static FUNCTIONAL_TRACES: AtomicU64 = AtomicU64::new(0);
+
+/// How many functional traces this process has collected so far.
+pub fn functional_trace_count() -> u64 {
+    FUNCTIONAL_TRACES.load(Ordering::Relaxed)
+}
+
 /// Runs `algo` on `g` functionally, collecting the trace (shared step of
 /// every experiment). Returns `(checksum, raw trace, meta)`.
 pub fn trace_algorithm(g: &CsrGraph, algo: Algo, exec: &ExecConfig) -> (f64, RawTrace, TraceMeta) {
+    FUNCTIONAL_TRACES.fetch_add(1, Ordering::Relaxed);
     let mut tracer = CollectingTracer::new(exec.n_cores);
     let mut ctx = Ctx::new(*exec, &mut tracer);
     let output = algo.run(g, &mut ctx);
@@ -141,6 +153,9 @@ pub fn trace_algorithm(g: &CsrGraph, algo: Algo, exec: &ExecConfig) -> (f64, Raw
 
 /// Replays an already-collected trace on a machine. Used directly by the
 /// harness to reuse one functional run across many machine configurations.
+///
+/// The trace is lowered lazily through a [`LoweringStream`] as the engine
+/// pulls operations — no materialised `Vec<Trace>` is ever allocated.
 pub fn replay(
     raw: &RawTrace,
     meta: &TraceMeta,
@@ -150,23 +165,47 @@ pub fn replay(
     if system.is_omega() {
         let mut mem = OmegaMemory::new(system, layout.clone(), meta);
         let hot = mem.hot_count();
-        let traces = lower(raw, &layout, Target::Omega { hot_count: hot });
-        let report = engine::run(traces, &mut mem, &system.machine);
+        let mut stream = LoweringStream::new(raw, &layout, Target::Omega { hot_count: hot });
+        let report = engine::run_source(&mut stream, &mut mem, &system.machine);
         let stats = mem.stats();
         (report, stats, hot)
     } else if let Some(budget) = system.locked_cache_bytes {
         let (mut mem, _pinned) =
             crate::locked::locked_cache_memory(&system.machine, &layout, meta, budget);
-        let traces = lower(raw, &layout, Target::Baseline);
-        let report = engine::run(traces, &mut mem, &system.machine);
+        let mut stream = LoweringStream::new(raw, &layout, Target::Baseline);
+        let report = engine::run_source(&mut stream, &mut mem, &system.machine);
         let stats = mem.stats();
         (report, stats, 0)
     } else {
         let mut mem = CacheHierarchy::new(&system.machine);
-        let traces = lower(raw, &layout, Target::Baseline);
-        let report = engine::run(traces, &mut mem, &system.machine);
+        let mut stream = LoweringStream::new(raw, &layout, Target::Baseline);
+        let report = engine::run_source(&mut stream, &mut mem, &system.machine);
         let stats = mem.stats();
         (report, stats, 0)
+    }
+}
+
+/// Builds a full [`RunReport`] by replaying an already-collected functional
+/// trace on `system` — the shared-trace path behind [`run`], [`run_pair`],
+/// and the benchmark session's grouped prefetch.
+pub fn replay_report(
+    algo_name: &str,
+    checksum: f64,
+    raw: &RawTrace,
+    meta: &TraceMeta,
+    system: &SystemConfig,
+) -> RunReport {
+    let (engine_report, mem, hot) = replay(raw, meta, system);
+    RunReport {
+        algo: algo_name.to_string(),
+        machine: system.label().to_string(),
+        checksum,
+        total_cycles: engine_report.total_cycles,
+        engine: engine_report,
+        mem,
+        hot_count: hot,
+        n_vertices: meta.n_vertices,
+        n_arcs: meta.n_arcs,
     }
 }
 
@@ -174,18 +213,7 @@ pub fn replay(
 pub fn run(g: &CsrGraph, algo: Algo, cfg: &RunConfig) -> RunReport {
     let exec: ExecConfig = cfg.exec.into();
     let (checksum, raw, meta) = trace_algorithm(g, algo, &exec);
-    let (engine_report, mem, hot) = replay(&raw, &meta, &cfg.system);
-    RunReport {
-        algo: algo.name().to_string(),
-        machine: cfg.system.label().to_string(),
-        checksum,
-        total_cycles: engine_report.total_cycles,
-        engine: engine_report,
-        mem,
-        hot_count: hot,
-        n_vertices: g.num_vertices() as u64,
-        n_arcs: g.num_arcs(),
-    }
+    replay_report(algo.name(), checksum, &raw, &meta, &cfg.system)
 }
 
 /// Convenience: runs `algo` on both the baseline and the OMEGA machine
@@ -201,21 +229,10 @@ pub fn run_pair(
         ..ExecConfig::default()
     };
     let (checksum, raw, meta) = trace_algorithm(g, algo, &exec);
-    let make = |system: &SystemConfig| {
-        let (engine_report, mem, hot) = replay(&raw, &meta, system);
-        RunReport {
-            algo: algo.name().to_string(),
-            machine: system.label().to_string(),
-            checksum,
-            total_cycles: engine_report.total_cycles,
-            engine: engine_report,
-            mem,
-            hot_count: hot,
-            n_vertices: g.num_vertices() as u64,
-            n_arcs: g.num_arcs(),
-        }
-    };
-    (make(baseline), make(omega))
+    (
+        replay_report(algo.name(), checksum, &raw, &meta, baseline),
+        replay_report(algo.name(), checksum, &raw, &meta, omega),
+    )
 }
 
 #[cfg(test)]

@@ -19,7 +19,6 @@
 //! and thus not requiring cache tag information").
 
 use omega_core::config::SystemConfig;
-use serde::{Deserialize, Serialize};
 
 const MB: f64 = 1024.0 * 1024.0;
 
@@ -46,7 +45,7 @@ const PISC_POWER_W: f64 = 0.004;
 const PISC_AREA_MM2: f64 = 0.01;
 
 /// Area and peak power of one component (per core).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AreaPower {
     /// Peak power in watts.
     pub power_w: f64,
@@ -83,7 +82,7 @@ pub fn scratchpad(bytes: u64) -> AreaPower {
 }
 
 /// The Table IV rows for one node (per-core breakdown plus totals).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeTable {
     /// Machine label ("baseline" / "omega").
     pub label: String,

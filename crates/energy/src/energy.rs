@@ -11,7 +11,6 @@
 use crate::area;
 use omega_core::config::SystemConfig;
 use omega_core::runner::RunReport;
-use serde::{Deserialize, Serialize};
 
 /// Clock frequency (Table III: 2 GHz) used to convert cycles to seconds.
 pub const CLOCK_HZ: f64 = 2.0e9;
@@ -35,7 +34,7 @@ const LEAKAGE_FRACTION: f64 = 0.30;
 const DRAM_BACKGROUND_W: f64 = 2.0;
 
 /// Energy breakdown of one run's memory system, in millijoules.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// L1 dynamic energy.
     pub l1_mj: f64,

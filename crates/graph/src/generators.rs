@@ -15,9 +15,8 @@
 //! * [`erdos_renyi`], [`star`], [`path`], [`complete`] — corner-case
 //!   structures used by the test suite.
 
+use crate::rng::SmallRng;
 use crate::{CsrGraph, GraphBuilder, GraphError, VertexId, Weight};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Partition probabilities for the R-MAT recursive quadrants.
 ///
@@ -172,10 +171,10 @@ fn rmat_sample(scale: u32, p: &RmatParams, rng: &mut SmallRng) -> (VertexId, Ver
     let mut v = 0u32;
     for _ in 0..scale {
         // Jitter the quadrant probabilities per level.
-        let mut jitter = |x: f64| x * (1.0 - p.noise / 2.0 + p.noise * rng.gen::<f64>());
+        let mut jitter = |x: f64| x * (1.0 - p.noise / 2.0 + p.noise * rng.gen_f64());
         let (a, b_, c, d) = (jitter(p.a), jitter(p.b), jitter(p.c), jitter(p.d));
         let total = a + b_ + c + d;
-        let r = rng.gen::<f64>() * total;
+        let r = rng.gen_f64() * total;
         u <<= 1;
         v <<= 1;
         if r < a {
@@ -250,7 +249,7 @@ pub fn grid_road(
             if y + 1 < height {
                 b.add_weighted_edge(id(x, y), id(x, y + 1), rng.gen_range(1..=max_weight))?;
             }
-            if x + 1 < width && y + 1 < height && rng.gen::<f64>() < diag_prob {
+            if x + 1 < width && y + 1 < height && rng.gen_f64() < diag_prob {
                 b.add_weighted_edge(id(x, y), id(x + 1, y + 1), rng.gen_range(1..=max_weight))?;
             }
         }

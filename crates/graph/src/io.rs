@@ -183,13 +183,13 @@ pub fn read_dimacs<R: Read>(reader: R, directed: bool) -> Result<CsrGraph, Graph
                         message: format!("unsupported problem kind `{kind}` (expected `sp`)"),
                     });
                 }
-                let n: usize = it
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| GraphError::Parse {
-                        line: idx + 1,
-                        message: "missing vertex count".into(),
-                    })?;
+                let n: usize =
+                    it.next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| GraphError::Parse {
+                            line: idx + 1,
+                            message: "missing vertex count".into(),
+                        })?;
                 builder = Some(if directed {
                     GraphBuilder::directed(n)
                 } else {
@@ -230,7 +230,10 @@ pub fn read_dimacs<R: Read>(reader: R, directed: bool) -> Result<CsrGraph, Graph
     }
     match builder {
         Some(b) => Ok(b.build()),
-        None => Err(GraphError::Parse { line: 0, message: "missing problem line".into() }),
+        None => Err(GraphError::Parse {
+            line: 0,
+            message: "missing problem line".into(),
+        }),
     }
 }
 
@@ -415,16 +418,34 @@ mod tests {
         let g = read_dimacs(text.as_bytes(), false).unwrap();
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 2);
-        assert_eq!(g.out_neighbors_weighted(0).collect::<Vec<_>>(), vec![(1, 5)]);
+        assert_eq!(
+            g.out_neighbors_weighted(0).collect::<Vec<_>>(),
+            vec![(1, 5)]
+        );
     }
 
     #[test]
     fn dimacs_rejects_malformed_input() {
-        assert!(read_dimacs("a 1 2 3\n".as_bytes(), true).is_err(), "arc before p line");
-        assert!(read_dimacs("p sp 2 1\na 0 1 3\n".as_bytes(), true).is_err(), "0-based id");
-        assert!(read_dimacs("p max 2 1\n".as_bytes(), true).is_err(), "wrong kind");
-        assert!(read_dimacs("c only comments\n".as_bytes(), true).is_err(), "no p line");
-        assert!(read_dimacs("p sp 2 1\nx 1 2\n".as_bytes(), true).is_err(), "unknown record");
+        assert!(
+            read_dimacs("a 1 2 3\n".as_bytes(), true).is_err(),
+            "arc before p line"
+        );
+        assert!(
+            read_dimacs("p sp 2 1\na 0 1 3\n".as_bytes(), true).is_err(),
+            "0-based id"
+        );
+        assert!(
+            read_dimacs("p max 2 1\n".as_bytes(), true).is_err(),
+            "wrong kind"
+        );
+        assert!(
+            read_dimacs("c only comments\n".as_bytes(), true).is_err(),
+            "no p line"
+        );
+        assert!(
+            read_dimacs("p sp 2 1\nx 1 2\n".as_bytes(), true).is_err(),
+            "unknown record"
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod dynamic;
 pub mod generators;
 pub mod io;
 pub mod reorder;
+pub mod rng;
 pub mod slicing;
 pub mod stats;
 

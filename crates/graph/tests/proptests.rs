@@ -1,31 +1,50 @@
-//! Property-based tests of the graph substrate: builder invariants, I/O
-//! roundtrips, reordering bijections, and dynamic-graph bookkeeping, over
-//! arbitrary edge lists.
+//! Randomized property tests of the graph substrate: builder invariants,
+//! I/O roundtrips, reordering bijections, and dynamic-graph bookkeeping,
+//! over arbitrary edge lists.
+//!
+//! Cases are drawn from the crate's own deterministic [`SmallRng`] (the
+//! hermetic build has no proptest); the failing case index is in the
+//! panic message.
 
 use omega_graph::dynamic::DynamicGraph;
+use omega_graph::rng::SmallRng;
 use omega_graph::{io, reorder, stats, GraphBuilder, VertexId};
-use proptest::prelude::*;
 
-fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2usize..50).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..150);
-        (Just(n), edges)
-    })
+const CASES: u64 = 64;
+
+fn arb_edges(rng: &mut SmallRng) -> (usize, Vec<(u32, u32)>) {
+    let n = rng.gen_range(2usize..50);
+    let m = rng.gen_range(0usize..150);
+    let edges = (0..m)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .collect();
+    (n, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn for_each_edges(seed: u64, mut check: impl FnMut(usize, &[(u32, u32)], &mut SmallRng)) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for case in 0..CASES {
+        let (n, edges) = arb_edges(&mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check(n, &edges, &mut rng);
+        }));
+        if let Err(e) = result {
+            panic!("case {case} (n={n}, {} edges) failed: {e:?}", edges.len());
+        }
+    }
+}
 
-    /// Builder invariants: sorted unique adjacency, degree/offset
-    /// consistency, transpose symmetry.
-    #[test]
-    fn builder_produces_consistent_csr((n, edges) in arb_edges()) {
+/// Builder invariants: sorted unique adjacency, degree/offset
+/// consistency, transpose symmetry.
+#[test]
+fn builder_produces_consistent_csr() {
+    for_each_edges(0xC5A0_0001, |n, edges, _| {
         let mut b = GraphBuilder::directed(n);
-        for &(u, v) in &edges {
+        for &(u, v) in edges {
             b.add_edge(u, v).unwrap();
         }
         let g = b.build();
-        prop_assert_eq!(g.num_arcs(), g.total_out_degree());
+        assert_eq!(g.num_arcs(), g.total_out_degree());
         let mut out_sum = 0u64;
         let mut in_sum = 0u64;
         for v in 0..n as VertexId {
@@ -34,55 +53,61 @@ proptest! {
             // Sorted, unique adjacency.
             let nb: Vec<_> = g.out_neighbors(v).collect();
             for w in nb.windows(2) {
-                prop_assert!(w[0] < w[1], "adjacency must be sorted unique");
+                assert!(w[0] < w[1], "adjacency must be sorted unique");
             }
         }
-        prop_assert_eq!(out_sum, in_sum);
-        prop_assert_eq!(out_sum, g.num_arcs());
+        assert_eq!(out_sum, in_sum);
+        assert_eq!(out_sum, g.num_arcs());
         // Transpose consistency: (u, v) is an arc iff u is an in-neighbor of v.
         for (u, v) in g.arcs() {
-            prop_assert!(g.in_neighbors(v).any(|x| x == u));
+            assert!(g.in_neighbors(v).any(|x| x == u));
         }
-    }
+    });
+}
 
-    /// Undirected builders are symmetric and count edges once.
-    #[test]
-    fn undirected_builder_is_symmetric((n, edges) in arb_edges()) {
+/// Undirected builders are symmetric and count edges once.
+#[test]
+fn undirected_builder_is_symmetric() {
+    for_each_edges(0xC5A0_0002, |n, edges, _| {
         let mut b = GraphBuilder::undirected(n);
-        for &(u, v) in &edges {
+        for &(u, v) in edges {
             b.add_edge(u, v).unwrap();
         }
         let g = b.build();
         let loops = 0; // dropped by default
-        prop_assert_eq!(g.num_arcs(), 2 * g.num_edges() - loops);
+        assert_eq!(g.num_arcs(), 2 * g.num_edges() - loops);
         for (u, v) in g.arcs() {
-            prop_assert!(g.has_edge(v, u));
+            assert!(g.has_edge(v, u));
         }
-    }
+    });
+}
 
-    /// Text and binary I/O roundtrip arbitrary graphs exactly.
-    #[test]
-    fn io_roundtrips((n, edges) in arb_edges()) {
+/// Text and binary I/O roundtrip arbitrary graphs exactly.
+#[test]
+fn io_roundtrips() {
+    for_each_edges(0xC5A0_0003, |n, edges, _| {
         let mut b = GraphBuilder::directed(n);
-        for &(u, v) in &edges {
+        for &(u, v) in edges {
             b.add_edge(u, v).unwrap();
         }
         let g = b.build();
         let mut text = Vec::new();
         io::write_edge_list(&g, &mut text).unwrap();
         let g2 = io::read_edge_list(&text[..], true, n).unwrap();
-        prop_assert_eq!(&g, &g2);
+        assert_eq!(&g, &g2);
         let mut bin = Vec::new();
         io::write_binary(&g, &mut bin).unwrap();
         let g3 = io::read_binary(&bin[..]).unwrap();
-        prop_assert_eq!(&g, &g3);
-    }
+        assert_eq!(&g, &g3);
+    });
+}
 
-    /// Reordering by any algorithm preserves arcs up to relabelling.
-    #[test]
-    fn reorderings_are_structure_preserving((n, edges) in arb_edges()) {
+/// Reordering by any algorithm preserves arcs up to relabelling.
+#[test]
+fn reorderings_are_structure_preserving() {
+    for_each_edges(0xC5A0_0004, |n, edges, _| {
         let mut b = GraphBuilder::directed(n);
-        for &(u, v) in &edges {
+        for &(u, v) in edges {
             b.add_edge(u, v).unwrap();
         }
         let g = b.build();
@@ -93,29 +118,31 @@ proptest! {
         ] {
             let p = reorder::compute_permutation(&g, ord);
             let rg = reorder::apply(&g, &p).unwrap();
-            prop_assert_eq!(rg.num_arcs(), g.num_arcs());
+            assert_eq!(rg.num_arcs(), g.num_arcs());
             for (u, v) in g.arcs() {
-                prop_assert!(rg.has_edge(p.map(u), p.map(v)), "{:?}", ord);
+                assert!(rg.has_edge(p.map(u), p.map(v)), "{ord:?}");
             }
         }
-    }
+    });
+}
 
-    /// DynamicGraph's incremental coverage always matches a from-scratch
-    /// recomputation after any insert/remove sequence.
-    #[test]
-    fn dynamic_coverage_matches_recomputation(
-        (n, edges) in arb_edges(),
-        ops in proptest::collection::vec((any::<bool>(), 0u32..50, 0u32..50), 0..60),
-    ) {
+/// DynamicGraph's incremental coverage always matches a from-scratch
+/// recomputation after any insert/remove sequence.
+#[test]
+fn dynamic_coverage_matches_recomputation() {
+    for_each_edges(0xC5A0_0005, |n, edges, rng| {
         let mut b = GraphBuilder::directed(n);
-        for &(u, v) in &edges {
+        for &(u, v) in edges {
             b.add_edge(u, v).unwrap();
         }
         let g = b.build();
         let hot = (n / 5).max(1);
         let mut d = DynamicGraph::from_graph(&g, hot);
-        for (insert, u, v) in ops {
-            let (u, v) = (u % n as u32, v % n as u32);
+        let n_ops = rng.gen_range(0usize..60);
+        for _ in 0..n_ops {
+            let insert = rng.gen_bool();
+            let u = rng.gen_range(0u32..50) % n as u32;
+            let v = rng.gen_range(0u32..50) % n as u32;
             if insert {
                 let _ = d.insert_edge(u, v).unwrap();
             } else {
@@ -126,27 +153,37 @@ proptest! {
         let m = d.materialize();
         let total: u64 = (0..n as VertexId).map(|v| m.in_degree(v) as u64).sum();
         let hot_mass: u64 = (0..hot as VertexId).map(|v| m.in_degree(v) as u64).sum();
-        let expected = if total == 0 { 0.0 } else { hot_mass as f64 / total as f64 };
-        prop_assert!((d.hot_set_coverage() - expected).abs() < 1e-9,
-            "incremental {} vs recomputed {}", d.hot_set_coverage(), expected);
-    }
+        let expected = if total == 0 {
+            0.0
+        } else {
+            hot_mass as f64 / total as f64
+        };
+        assert!(
+            (d.hot_set_coverage() - expected).abs() < 1e-9,
+            "incremental {} vs recomputed {}",
+            d.hot_set_coverage(),
+            expected
+        );
+    });
+}
 
-    /// Connectivity statistics are bounded and monotone for any graph.
-    #[test]
-    fn connectivity_curve_is_well_formed((n, edges) in arb_edges()) {
+/// Connectivity statistics are bounded and monotone for any graph.
+#[test]
+fn connectivity_curve_is_well_formed() {
+    for_each_edges(0xC5A0_0006, |n, edges, _| {
         let mut b = GraphBuilder::directed(n);
-        for &(u, v) in &edges {
+        for &(u, v) in edges {
             b.add_edge(u, v).unwrap();
         }
         let s = stats::degree_stats(&b.build());
         let mut prev = 0.0;
         for f in [0.1, 0.3, 0.5, 0.7, 1.0] {
             let c = s.in_connectivity(f);
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
-            prop_assert!(c + 1e-9 >= prev);
+            assert!((0.0..=1.0 + 1e-9).contains(&c));
+            assert!(c + 1e-9 >= prev);
             prev = c;
         }
         let gini = s.in_degree_gini();
-        prop_assert!((-1e-9..=1.0).contains(&gini), "gini {}", gini);
-    }
+        assert!((-1e-9..=1.0).contains(&gini), "gini {gini}");
+    });
 }

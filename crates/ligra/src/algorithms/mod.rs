@@ -26,11 +26,10 @@ pub use tc::{tc, tc_reference};
 
 use crate::ctx::Ctx;
 use omega_graph::{CsrGraph, VertexId};
-use serde::{Deserialize, Serialize};
 
 /// Qualitative levels used in Table II ("%atomic operation",
 /// "%random access").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Level {
     /// Low.
     Low,
@@ -51,7 +50,7 @@ impl std::fmt::Display for Level {
 }
 
 /// Static characterisation of one algorithm — the paper's Table II row.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AlgorithmSpec {
     /// Short name as used in the paper's figures.
     pub name: &'static str,
@@ -76,7 +75,7 @@ pub struct AlgorithmSpec {
 }
 
 /// A runnable algorithm instance with its parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Algo {
     /// PageRank with a fixed iteration count (the paper simulates one).
     PageRank {

@@ -132,9 +132,7 @@ mod tests {
         sssp(&g, &mut ctx, 0);
         let raw = t.finish();
         let src_reads = raw
-            .per_core
-            .iter()
-            .flatten()
+            .iter_events()
             .filter(|e| matches!(e, crate::trace::TraceEvent::PropReadSrc { .. }))
             .count();
         assert!(

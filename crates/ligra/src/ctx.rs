@@ -284,8 +284,8 @@ mod tests {
         let (old, new) = ctx.atomic(0, p, 2, AtomicKind::FpAdd, |x| x + 1.0);
         assert_eq!((old, new), (3.0, 4.0));
         let raw = t.finish();
-        assert_eq!(raw.per_core[0].len(), 2);
-        assert_eq!(raw.per_core[1].len(), 1);
+        assert_eq!(raw.core_len(0), 2);
+        assert_eq!(raw.core_len(1), 1);
     }
 
     #[test]

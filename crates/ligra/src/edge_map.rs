@@ -385,11 +385,9 @@ mod tests {
         );
         let raw = t.finish();
         let fused: Vec<bool> = raw
-            .per_core
-            .iter()
-            .flatten()
+            .iter_events()
             .filter_map(|e| match e {
-                TraceEvent::FrontierWrite { fused, .. } => Some(*fused),
+                TraceEvent::FrontierWrite { fused, .. } => Some(fused),
                 _ => None,
             })
             .collect();

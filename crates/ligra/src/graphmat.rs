@@ -158,9 +158,7 @@ mod tests {
         pagerank_graphmat(&g, &mut ctx, 1);
         let raw = t.finish();
         let stable_reads = raw
-            .per_core
-            .iter()
-            .flatten()
+            .iter_events()
             .filter(|e| matches!(e, crate::trace::TraceEvent::PropReadSrc { .. }))
             .count() as u64;
         assert_eq!(

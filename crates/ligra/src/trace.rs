@@ -15,13 +15,12 @@
 //! of machine configuration, exactly as Ligra is.
 
 use omega_sim::AtomicKind;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a registered property array.
 pub type RawPropId = u16;
 
 /// One logical memory event, attributed to a simulated core.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceEvent {
     /// Non-memory work, in cycles ×100.
     Compute(u32),
@@ -91,7 +90,7 @@ pub enum TraceEvent {
 /// Metadata for one registered property array, needed to lay it out in the
 /// simulated address space (the paper's address-monitoring registers hold
 /// exactly this: start address, type size, stride — §V.A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PropSpec {
     /// Bytes per entry (Table II "vtxProp entry size" contributions).
     pub entry_bytes: u32,
@@ -105,7 +104,7 @@ pub struct PropSpec {
 }
 
 /// Trace-wide metadata captured alongside the events.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceMeta {
     /// Registered property arrays, indexed by [`RawPropId`].
     pub props: Vec<PropSpec>,
@@ -125,6 +124,128 @@ impl TraceMeta {
         } else {
             4
         }
+    }
+}
+
+/// A [`TraceEvent`] packed into eight bytes.
+///
+/// Functional traces are the dominant memory consumer of the pipeline —
+/// tens of millions of events per run — and the natural enum layout costs
+/// 16 bytes per event (the `u64` arc index forces 8-byte alignment). The
+/// packed form keeps the 4-bit discriminant in the top bits of one `u64`
+/// and fits every payload in the remaining 60:
+///
+/// | tag | event           | payload bits                                  |
+/// |-----|-----------------|-----------------------------------------------|
+/// | 0   | `Compute`       | `x100` in 0..32                               |
+/// | 1   | `PropRead`      | `id` in 0..16, `v` in 16..48                  |
+/// | 2   | `PropReadSrc`   | `id` in 0..16, `v` in 16..48                  |
+/// | 3   | `PropWrite`     | `id` in 0..16, `v` in 16..48                  |
+/// | 4   | `PropAtomic`    | `id` in 0..16, `v` in 16..48, `kind` in 48..52|
+/// | 5   | `EdgeRead`      | `arc` in 0..60                                |
+/// | 6   | `FrontierRead`  | `index` in 0..59, `dense` at 59               |
+/// | 7   | `FrontierWrite` | `vertex` in 0..32, `dense` at 32, `fused` at 33|
+/// | 8   | `NGraph`        | —                                             |
+/// | 9   | `Barrier`       | —                                             |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedEvent(u64);
+
+const TAG_SHIFT: u32 = 60;
+
+impl PackedEvent {
+    /// Packs `ev` into its eight-byte form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an arc or frontier index exceeds its payload field (2^60
+    /// arcs — unreachable for any graph the simulator can hold).
+    pub fn pack(ev: TraceEvent) -> Self {
+        let bits = match ev {
+            TraceEvent::Compute(x100) => x100 as u64,
+            TraceEvent::PropRead { id, v } => 1 << TAG_SHIFT | (v as u64) << 16 | id as u64,
+            TraceEvent::PropReadSrc { id, v } => 2 << TAG_SHIFT | (v as u64) << 16 | id as u64,
+            TraceEvent::PropWrite { id, v } => 3 << TAG_SHIFT | (v as u64) << 16 | id as u64,
+            TraceEvent::PropAtomic { id, v, kind } => {
+                4 << TAG_SHIFT
+                    | (atomic_kind_code(kind) as u64) << 48
+                    | (v as u64) << 16
+                    | id as u64
+            }
+            TraceEvent::EdgeRead { arc } => {
+                assert!(arc < 1 << 60, "arc index {arc} exceeds packed field");
+                5 << TAG_SHIFT | arc
+            }
+            TraceEvent::FrontierRead { index, dense } => {
+                assert!(
+                    index < 1 << 59,
+                    "frontier index {index} exceeds packed field"
+                );
+                6 << TAG_SHIFT | (dense as u64) << 59 | index
+            }
+            TraceEvent::FrontierWrite {
+                vertex,
+                dense,
+                fused,
+            } => 7 << TAG_SHIFT | (fused as u64) << 33 | (dense as u64) << 32 | vertex as u64,
+            TraceEvent::NGraph => 8 << TAG_SHIFT,
+            TraceEvent::Barrier => 9 << TAG_SHIFT,
+        };
+        PackedEvent(bits)
+    }
+
+    /// Recovers the logical event.
+    pub fn unpack(self) -> TraceEvent {
+        let b = self.0;
+        let id = b as u16;
+        let v = (b >> 16) as u32;
+        match b >> TAG_SHIFT {
+            0 => TraceEvent::Compute(b as u32),
+            1 => TraceEvent::PropRead { id, v },
+            2 => TraceEvent::PropReadSrc { id, v },
+            3 => TraceEvent::PropWrite { id, v },
+            4 => TraceEvent::PropAtomic {
+                id,
+                v,
+                kind: atomic_kind_from_code((b >> 48) as u8 & 0xF),
+            },
+            5 => TraceEvent::EdgeRead {
+                arc: b & ((1 << 60) - 1),
+            },
+            6 => TraceEvent::FrontierRead {
+                index: b & ((1 << 59) - 1),
+                dense: b >> 59 & 1 != 0,
+            },
+            7 => TraceEvent::FrontierWrite {
+                vertex: b as u32,
+                dense: b >> 32 & 1 != 0,
+                fused: b >> 33 & 1 != 0,
+            },
+            8 => TraceEvent::NGraph,
+            _ => TraceEvent::Barrier,
+        }
+    }
+}
+
+fn atomic_kind_code(kind: AtomicKind) -> u8 {
+    match kind {
+        AtomicKind::FpAdd => 0,
+        AtomicKind::UnsignedCompareSet => 1,
+        AtomicKind::SignedMin => 2,
+        AtomicKind::LabelMin => 3,
+        AtomicKind::BoolOr => 4,
+        AtomicKind::SignedAdd => 5,
+    }
+}
+
+fn atomic_kind_from_code(code: u8) -> AtomicKind {
+    match code {
+        0 => AtomicKind::FpAdd,
+        1 => AtomicKind::UnsignedCompareSet,
+        2 => AtomicKind::SignedMin,
+        3 => AtomicKind::LabelMin,
+        4 => AtomicKind::BoolOr,
+        5 => AtomicKind::SignedAdd,
+        other => unreachable!("invalid packed AtomicKind code {other}"),
     }
 }
 
@@ -149,10 +270,10 @@ impl Tracer for NullTracer {
     fn emit_barrier(&mut self) {}
 }
 
-/// Collects per-core event streams in memory.
+/// Collects per-core event streams in memory, packed as they arrive.
 #[derive(Debug, Clone)]
 pub struct CollectingTracer {
-    per_core: Vec<Vec<TraceEvent>>,
+    per_core: Vec<Vec<PackedEvent>>,
 }
 
 impl CollectingTracer {
@@ -173,24 +294,66 @@ impl CollectingTracer {
 
 impl Tracer for CollectingTracer {
     fn emit(&mut self, core: usize, ev: TraceEvent) {
-        self.per_core[core].push(ev);
+        self.per_core[core].push(PackedEvent::pack(ev));
     }
 
     fn emit_barrier(&mut self) {
         for stream in &mut self.per_core {
-            stream.push(TraceEvent::Barrier);
+            stream.push(PackedEvent::pack(TraceEvent::Barrier));
         }
     }
 }
 
 /// The collected per-core event streams of one algorithm run.
+///
+/// Events are stored packed ([`PackedEvent`], eight bytes each — half the
+/// natural enum layout) and unpacked on the fly by the accessors; one
+/// `RawTrace` is the single buffered copy of a run that the streaming
+/// lowering pipeline replays, possibly several times, one machine
+/// configuration each.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RawTrace {
-    /// One stream per logical core.
-    pub per_core: Vec<Vec<TraceEvent>>,
+    per_core: Vec<Vec<PackedEvent>>,
 }
 
 impl RawTrace {
+    /// Builds a trace from already-materialised per-core event streams
+    /// (tests and tools; the framework path goes through
+    /// [`CollectingTracer`]).
+    pub fn from_events(streams: Vec<Vec<TraceEvent>>) -> Self {
+        RawTrace {
+            per_core: streams
+                .into_iter()
+                .map(|s| s.into_iter().map(PackedEvent::pack).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of per-core streams.
+    pub fn n_cores(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Number of events in `core`'s stream.
+    pub fn core_len(&self, core: usize) -> usize {
+        self.per_core[core].len()
+    }
+
+    /// The event at position `idx` of `core`'s stream, if any.
+    pub fn event(&self, core: usize, idx: usize) -> Option<TraceEvent> {
+        self.per_core[core].get(idx).map(|p| p.unpack())
+    }
+
+    /// Iterates `core`'s stream in order.
+    pub fn core_events(&self, core: usize) -> impl Iterator<Item = TraceEvent> + '_ {
+        self.per_core[core].iter().map(|p| p.unpack())
+    }
+
+    /// Iterates every event of every core (core-major order).
+    pub fn iter_events(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        self.per_core.iter().flatten().map(|p| p.unpack())
+    }
+
     /// Total number of events across cores.
     pub fn events(&self) -> u64 {
         self.per_core.iter().map(|s| s.len() as u64).sum()
@@ -200,21 +363,17 @@ impl RawTrace {
     /// analyses.
     pub fn classify(&self) -> TraceClassification {
         let mut c = TraceClassification::default();
-        for stream in &self.per_core {
-            for ev in stream {
-                match ev {
-                    TraceEvent::PropRead { .. } | TraceEvent::PropReadSrc { .. } => {
-                        c.prop_reads += 1
-                    }
-                    TraceEvent::PropWrite { .. } => c.prop_writes += 1,
-                    TraceEvent::PropAtomic { .. } => c.prop_atomics += 1,
-                    TraceEvent::EdgeRead { .. } => c.edge_reads += 1,
-                    TraceEvent::FrontierRead { .. } | TraceEvent::FrontierWrite { .. } => {
-                        c.frontier_accesses += 1
-                    }
-                    TraceEvent::NGraph => c.ngraph_accesses += 1,
-                    TraceEvent::Compute(_) | TraceEvent::Barrier => {}
+        for ev in self.iter_events() {
+            match ev {
+                TraceEvent::PropRead { .. } | TraceEvent::PropReadSrc { .. } => c.prop_reads += 1,
+                TraceEvent::PropWrite { .. } => c.prop_writes += 1,
+                TraceEvent::PropAtomic { .. } => c.prop_atomics += 1,
+                TraceEvent::EdgeRead { .. } => c.edge_reads += 1,
+                TraceEvent::FrontierRead { .. } | TraceEvent::FrontierWrite { .. } => {
+                    c.frontier_accesses += 1
                 }
+                TraceEvent::NGraph => c.ngraph_accesses += 1,
+                TraceEvent::Compute(_) | TraceEvent::Barrier => {}
             }
         }
         c
@@ -227,19 +386,17 @@ impl RawTrace {
     pub fn prop_access_fraction_below(&self, hot_count: u32) -> f64 {
         let mut total = 0u64;
         let mut hot = 0u64;
-        for stream in &self.per_core {
-            for ev in stream {
-                let v = match ev {
-                    TraceEvent::PropRead { v, .. }
-                    | TraceEvent::PropReadSrc { v, .. }
-                    | TraceEvent::PropWrite { v, .. }
-                    | TraceEvent::PropAtomic { v, .. } => *v,
-                    _ => continue,
-                };
-                total += 1;
-                if v < hot_count {
-                    hot += 1;
-                }
+        for ev in self.iter_events() {
+            let v = match ev {
+                TraceEvent::PropRead { v, .. }
+                | TraceEvent::PropReadSrc { v, .. }
+                | TraceEvent::PropWrite { v, .. }
+                | TraceEvent::PropAtomic { v, .. } => v,
+                _ => continue,
+            };
+            total += 1;
+            if v < hot_count {
+                hot += 1;
             }
         }
         if total == 0 {
@@ -251,7 +408,7 @@ impl RawTrace {
 }
 
 /// Aggregate counts of each access class in a trace.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraceClassification {
     /// vtxProp loads (including source-vertex reads).
     pub prop_reads: u64,
@@ -309,9 +466,85 @@ mod tests {
         t.emit(1, TraceEvent::Compute(100));
         t.emit_barrier();
         let raw = t.finish();
-        assert_eq!(raw.per_core[0].len(), 2);
-        assert_eq!(raw.per_core[1].len(), 2);
-        assert_eq!(raw.per_core[0][1], TraceEvent::Barrier);
+        assert_eq!(raw.core_len(0), 2);
+        assert_eq!(raw.core_len(1), 2);
+        assert_eq!(raw.event(0, 1), Some(TraceEvent::Barrier));
+    }
+
+    #[test]
+    fn packed_events_roundtrip_every_variant() {
+        let kinds = [
+            AtomicKind::FpAdd,
+            AtomicKind::UnsignedCompareSet,
+            AtomicKind::SignedMin,
+            AtomicKind::LabelMin,
+            AtomicKind::BoolOr,
+            AtomicKind::SignedAdd,
+        ];
+        let mut events = vec![
+            TraceEvent::Compute(0),
+            TraceEvent::Compute(u32::MAX),
+            TraceEvent::PropRead { id: 0, v: 0 },
+            TraceEvent::PropRead {
+                id: u16::MAX,
+                v: u32::MAX,
+            },
+            TraceEvent::PropReadSrc { id: 7, v: 12345 },
+            TraceEvent::PropWrite {
+                id: 3,
+                v: 0xDEAD_BEEF,
+            },
+            TraceEvent::EdgeRead { arc: 0 },
+            TraceEvent::EdgeRead { arc: (1 << 60) - 1 },
+            TraceEvent::FrontierRead {
+                index: (1 << 59) - 1,
+                dense: false,
+            },
+            TraceEvent::NGraph,
+            TraceEvent::Barrier,
+        ];
+        for kind in kinds {
+            events.push(TraceEvent::PropAtomic {
+                id: 11,
+                v: 42_000_000,
+                kind,
+            });
+        }
+        for dense in [false, true] {
+            events.push(TraceEvent::FrontierRead { index: 9, dense });
+            for fused in [false, true] {
+                events.push(TraceEvent::FrontierWrite {
+                    vertex: u32::MAX,
+                    dense,
+                    fused,
+                });
+            }
+        }
+        for ev in events {
+            assert_eq!(PackedEvent::pack(ev).unpack(), ev, "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn packed_events_are_eight_bytes() {
+        assert_eq!(std::mem::size_of::<PackedEvent>(), 8);
+        // The packing exists because the natural layout is twice that.
+        assert!(std::mem::size_of::<TraceEvent>() > 8);
+    }
+
+    #[test]
+    fn from_events_matches_collecting_tracer() {
+        let evs = vec![
+            TraceEvent::PropRead { id: 0, v: 1 },
+            TraceEvent::EdgeRead { arc: 2 },
+            TraceEvent::Barrier,
+        ];
+        let mut t = CollectingTracer::new(1);
+        for &e in &evs[..2] {
+            t.emit(0, e);
+        }
+        t.emit_barrier();
+        assert_eq!(t.finish(), RawTrace::from_events(vec![evs]));
     }
 
     #[test]

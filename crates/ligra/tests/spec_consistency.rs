@@ -82,7 +82,11 @@ fn active_list_algorithms_touch_frontier_structures() {
         }
         let c = classify(&g, algo);
         if algo.spec().active_list {
-            assert!(c.frontier_accesses > 0, "{} declares an active list", algo.name());
+            assert!(
+                c.frontier_accesses > 0,
+                "{} declares an active list",
+                algo.name()
+            );
         }
     }
 }
@@ -105,9 +109,7 @@ fn src_reading_algorithms_emit_stable_reads() {
         let specs = ctx.prop_specs();
         let raw = tracer.finish();
         let monitored_src_reads = raw
-            .per_core
-            .iter()
-            .flatten()
+            .iter_events()
             .filter(|e| match e {
                 omega_ligra::trace::TraceEvent::PropReadSrc { id, .. } => {
                     specs[*id as usize].monitored
@@ -116,7 +118,11 @@ fn src_reading_algorithms_emit_stable_reads() {
             })
             .count();
         if algo.spec().reads_src_prop {
-            assert!(monitored_src_reads > 0, "{} declares source-property reads", algo.name());
+            assert!(
+                monitored_src_reads > 0,
+                "{} declares source-property reads",
+                algo.name()
+            );
         } else {
             assert_eq!(
                 monitored_src_reads,
@@ -135,7 +141,11 @@ fn hot_access_shares_differ_by_graph_class() {
     // must exceed the road-network share by a wide margin.
     let nat = natural();
     let rd = road();
-    for algo in [Algo::PageRank { iters: 1 }, Algo::Bfs { root: 0 }, Algo::Sssp { root: 0 }] {
+    for algo in [
+        Algo::PageRank { iters: 1 },
+        Algo::Bfs { root: 0 },
+        Algo::Sssp { root: 0 },
+    ] {
         let run_share = |g: &CsrGraph| {
             let algo = algo.with_default_root(g);
             let exec = ExecConfig::default();

@@ -7,10 +7,8 @@
 //! This preserves the resident-fraction of `vtxProp` in each storage level,
 //! which is the quantity the paper's results depend on.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry and latency of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Capacity in bytes (per instance: per-core for L1, per-bank for L2).
     pub capacity: u64,
@@ -33,7 +31,7 @@ impl CacheConfig {
 }
 
 /// Core (pipeline) timing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Number of cores.
     pub n_cores: usize,
@@ -46,7 +44,7 @@ pub struct CoreConfig {
 }
 
 /// Crossbar interconnect parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NocConfig {
     /// One-way traversal latency in cycles (request or response).
     pub latency: u32,
@@ -57,7 +55,7 @@ pub struct NocConfig {
 }
 
 /// DRAM channel parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
     /// Number of channels.
     pub channels: usize,
@@ -73,7 +71,7 @@ pub struct DramConfig {
 }
 
 /// Complete machine description.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineConfig {
     /// Core parameters.
     pub core: CoreConfig,

@@ -25,7 +25,7 @@ pub const ROW_CONFLICT_EXTRA: u32 = 12;
 /// Row-buffer management policy for one access (§IX.3 of the paper
 /// proposes a *hybrid*: close-page for the randomly-accessed cold vtxProp,
 /// open-page for streams like the edge list).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RowMode {
     /// Leave the row open after the access: later hits to the same row are
     /// fast, conflicts pay a precharge.

@@ -29,13 +29,55 @@
 use crate::config::MachineConfig;
 use crate::mem::{Blocking, CoreOp, MemorySystem};
 use crate::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// A fully materialised per-core operation stream.
 pub type Trace = Vec<CoreOp>;
 
+/// A pull-based supplier of per-core operation streams.
+///
+/// The engine asks the source for one operation at a time, so lowering can
+/// happen lazily while the replay is in flight — no second, fully lowered
+/// copy of the trace ever needs to exist. `next(core)` must keep returning
+/// `None` once core `core`'s stream is exhausted.
+pub trait OpSource {
+    /// Number of core streams this source supplies.
+    fn n_cores(&self) -> usize;
+    /// The next operation for `core`, or `None` when its stream has ended.
+    fn next(&mut self, core: usize) -> Option<CoreOp>;
+}
+
+/// [`OpSource`] over fully materialised traces (the compatibility path for
+/// hand-built op vectors in tests and the ablation harness).
+#[derive(Debug)]
+pub struct VecOpSource {
+    traces: Vec<Trace>,
+    pos: Vec<usize>,
+}
+
+impl VecOpSource {
+    /// Wraps one materialised trace per core.
+    pub fn new(traces: Vec<Trace>) -> Self {
+        let pos = vec![0; traces.len()];
+        VecOpSource { traces, pos }
+    }
+}
+
+impl OpSource for VecOpSource {
+    fn n_cores(&self) -> usize {
+        self.traces.len()
+    }
+
+    fn next(&mut self, core: usize) -> Option<CoreOp> {
+        let op = self.traces[core].get(self.pos[core]).copied();
+        if op.is_some() {
+            self.pos[core] += 1;
+        }
+        op
+    }
+}
+
 /// Per-core cycle attribution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreReport {
     /// Operations executed.
     pub ops: u64,
@@ -53,7 +95,7 @@ pub struct CoreReport {
 }
 
 /// Result of one replay.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineReport {
     /// Cycle at which the last core finished.
     pub total_cycles: Cycle,
@@ -97,7 +139,6 @@ struct CoreState {
     time: Cycle,
     issue_acc_x100: u64,
     window: Vec<Cycle>,
-    pos: usize,
     at_barrier: bool,
     finished: bool,
     report: CoreReport,
@@ -109,7 +150,6 @@ impl CoreState {
             time: 0,
             issue_acc_x100: 0,
             window: Vec::new(),
-            pos: 0,
             at_barrier: false,
             finished: false,
             report: CoreReport::default(),
@@ -143,19 +183,37 @@ impl CoreState {
 
 /// Replays `traces` (one per core) against `mem`.
 ///
-/// Cores without a trace entry (if `traces.len() < n_cores`) simply idle.
+/// Compatibility wrapper over [`run_source`] for fully materialised traces;
+/// cores without a trace entry (if `traces.len() < n_cores`) simply idle.
 ///
 /// # Panics
 ///
 /// Panics if `traces.len()` exceeds `cfg.core.n_cores`.
 pub fn run<M: MemorySystem>(traces: Vec<Trace>, mem: &mut M, cfg: &MachineConfig) -> EngineReport {
+    let mut source = VecOpSource::new(traces);
+    run_source(&mut source, mem, cfg)
+}
+
+/// Replays the streams supplied by `source` against `mem`.
+///
+/// This is the real engine: it pulls one [`CoreOp`] at a time from the
+/// source, so op streams can be lowered lazily while the replay runs.
+///
+/// # Panics
+///
+/// Panics if `source.n_cores()` exceeds `cfg.core.n_cores`.
+pub fn run_source<S: OpSource, M: MemorySystem>(
+    source: &mut S,
+    mem: &mut M,
+    cfg: &MachineConfig,
+) -> EngineReport {
     assert!(
-        traces.len() <= cfg.core.n_cores,
+        source.n_cores() <= cfg.core.n_cores,
         "{} traces for {} cores",
-        traces.len(),
+        source.n_cores(),
         cfg.core.n_cores
     );
-    let n = traces.len();
+    let n = source.n_cores();
     let mut cores: Vec<CoreState> = (0..n).map(|_| CoreState::new()).collect();
     let max_outstanding = cfg.core.max_outstanding.max(1);
 
@@ -193,13 +251,12 @@ pub fn run<M: MemorySystem>(traces: Vec<Trace>, mem: &mut M, cfg: &MachineConfig
         };
 
         let core = &mut cores[i];
-        let Some(&op) = traces[i].get(core.pos) else {
+        let Some(op) = source.next(i) else {
             core.drain_all();
             core.finished = true;
             core.report.finish_time = core.time;
             continue;
         };
-        core.pos += 1;
         core.report.ops += 1;
 
         match op {

@@ -55,7 +55,7 @@ pub mod noc;
 pub mod stats;
 
 pub use config::{CacheConfig, CoreConfig, DramConfig, MachineConfig, NocConfig};
-pub use engine::{EngineReport, Trace};
+pub use engine::{EngineReport, OpSource, Trace, VecOpSource};
 pub use mem::{AccessKind, AccessOutcome, AtomicKind, Blocking, CoreOp, MemAccess, MemorySystem};
 
 /// Simulation time, in core clock cycles.

@@ -3,13 +3,12 @@
 //! into the replay [`engine`](crate::engine).
 
 use crate::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// The atomic read-modify-write operations of Table II, which are exactly
 /// the operations a PISC engine must implement (§V.B: "PageRank requires
 /// floating point addition, BFS requires unsigned integer comparison, SSSP
 /// requires signed integer min and Bool comparison").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AtomicKind {
     /// Floating-point add (PageRank).
     FpAdd,
@@ -42,7 +41,7 @@ impl AtomicKind {
 }
 
 /// What a memory access does.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A load.
     Read,
@@ -62,7 +61,7 @@ pub enum AccessKind {
 }
 
 /// One memory access in a core's trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemAccess {
     /// Virtual address.
     pub addr: u64,
@@ -102,7 +101,7 @@ impl MemAccess {
 }
 
 /// How an access occupies the issuing core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Blocking {
     /// Occupies a slot in the core's outstanding-access window until
     /// completion (ordinary loads; overlappable).
@@ -115,7 +114,7 @@ pub enum Blocking {
 }
 
 /// The memory system's answer to one access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessOutcome {
     /// Absolute cycle at which the access completes.
     pub completion: Cycle,
@@ -124,7 +123,7 @@ pub struct AccessOutcome {
 }
 
 /// One operation in a core's trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CoreOp {
     /// Retire `0.01 × arg` cycles worth of non-memory work (scaled fixed
     /// point so an 8-wide core can express sub-cycle bundles).

@@ -4,10 +4,8 @@
 //! energy, and the figure harness can print hit rates, traffic, and
 //! bandwidth utilisation directly.
 
-use serde::{Deserialize, Serialize};
-
 /// Hit/miss counters for one cache level (aggregated over instances).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that hit.
     pub hits: u64,
@@ -44,7 +42,7 @@ impl CacheStats {
 }
 
 /// On-chip interconnect traffic counters (Fig. 17's quantity).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NocStats {
     /// Packets sent.
     pub packets: u64,
@@ -55,7 +53,7 @@ pub struct NocStats {
 }
 
 /// DRAM activity counters (Fig. 16's quantity).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Read requests (line granularity).
     pub reads: u64,
@@ -94,7 +92,7 @@ impl DramStats {
 }
 
 /// Per-line-locked atomic execution counters (baseline cores or PISCs).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AtomicStats {
     /// Atomic operations executed.
     pub executed: u64,
@@ -103,7 +101,7 @@ pub struct AtomicStats {
 }
 
 /// Scratchpad counters (OMEGA machines only; zero on the baseline).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScratchpadStats {
     /// Accesses served by the local scratchpad.
     pub local_accesses: u64,
@@ -138,7 +136,7 @@ impl ScratchpadStats {
 }
 
 /// Combined memory-system statistics returned by every machine.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MemStats {
     /// L1 data caches (all cores merged).
     pub l1: CacheStats,

@@ -12,9 +12,8 @@ use omega_core::runner::run_pair;
 use omega_graph::dynamic::DynamicGraph;
 use omega_graph::generators::{rmat, RmatParams};
 use omega_graph::reorder;
+use omega_graph::rng::SmallRng;
 use omega_ligra::algorithms::Algo;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn measure(g: &omega_graph::CsrGraph) -> f64 {
     // Scratchpads sized to hold just ~20% of this graph's vertices, so the
@@ -51,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for _ in 0..live.num_edges() / 5 {
             let u = rng.gen_range(0..n);
             // 40 "viral" members from the cold tail soak up the new edges.
-            let v = n - 1 - rng.gen_range(0..40);
+            let v = n - 1 - rng.gen_range(0u32..40);
             let _ = live.insert_edge(u, v)?;
         }
         println!(

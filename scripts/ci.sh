@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Local mirror of the CI pipeline: build, test, format, lint.
+# The workspace is hermetic (no external crates), so everything runs offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace --all-targets
+cargo test -q --workspace
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all checks passed"
