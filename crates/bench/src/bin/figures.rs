@@ -87,6 +87,7 @@ fn main() {
         "abl-slicing",
         "abl-graphmat",
         "abl-locked",
+        "telemetry",
     ];
     let selected: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
         all.to_vec()
@@ -143,6 +144,7 @@ fn main() {
             "abl-graphmat" => abl_graphmat(&mut session),
             "abl-locked" => abl_locked(&mut session),
             "abl-atomics" => abl_atomics(&mut session),
+            "telemetry" => telemetry(&session),
             other => eprintln!("unknown experiment id `{other}` (see README)"),
         }
     }
@@ -1044,8 +1046,8 @@ fn abl_graphmat(s: &mut Session) {
     graphmat::pagerank_graphmat(&g, &mut ctx, 1);
     let meta = ctx.meta_for(g.num_vertices() as u64, g.num_arcs(), g.is_weighted());
     let raw = tracer.finish();
-    let (gm_base, _, _) = replay(&raw, &meta, &SystemConfig::mini_baseline());
-    let (gm_omega, gm_stats, _) = replay(&raw, &meta, &SystemConfig::mini_omega());
+    let (gm_base, _, _, _) = replay(&raw, &meta, &SystemConfig::mini_baseline());
+    let (gm_omega, gm_stats, _, _) = replay(&raw, &meta, &SystemConfig::mini_omega());
 
     let mut t = Table::new([
         "framework",
@@ -1154,6 +1156,104 @@ fn abl_atomics(s: &mut Session) {
             plain.to_string(),
             format!("{:.0}", 100.0 * (atomic as f64 / plain as f64 - 1.0)),
         ]);
+    }
+    println!("{t}");
+}
+
+/// Compresses a per-window utilisation series (values in `[0, 1]`) into a
+/// fixed-width block-character sparkline.
+fn sparkline(series: &[f64], width: usize) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() {
+        return "—".into();
+    }
+    let cols = width.min(series.len()).max(1);
+    (0..cols)
+        .map(|c| {
+            // Average the windows falling into this column.
+            let lo = c * series.len() / cols;
+            let hi = ((c + 1) * series.len() / cols).max(lo + 1);
+            let avg = series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            let idx = (avg.clamp(0.0, 1.0) * 7.0).round() as usize;
+            BLOCKS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Telemetry deep-dive — the observability companion to Figs. 3/16/17:
+/// exact per-bucket stall attribution (every cycle lands in exactly one
+/// bucket) and DRAM bandwidth utilisation over time from the
+/// cycle-windowed sampler.
+fn telemetry(outer: &Session) {
+    use omega_sim::telemetry::TelemetryConfig;
+    banner(
+        "telemetry",
+        "stall attribution and DRAM bandwidth utilisation over time",
+    );
+    // A dedicated session: the shared one memoises telemetry-free runs.
+    let mut s = Session::new(outer.scale());
+    s.verbose = false;
+    let window = match outer.scale() {
+        DatasetScale::Tiny => 1 << 10,
+        _ => TelemetryConfig::DEFAULT_WINDOW,
+    };
+    s.telemetry = TelemetryConfig::windowed(window);
+    let mut t = Table::new([
+        "workload",
+        "machine",
+        "issue %",
+        "mem %",
+        "atomic %",
+        "barrier %",
+        "drain %",
+        "DRAM util over time",
+    ]);
+    for (d, a) in [
+        (Dataset::Sd, AlgoKey::PageRank),
+        (Dataset::Lj, AlgoKey::PageRank),
+        (Dataset::Lj, AlgoKey::Bfs),
+        (Dataset::Wiki, AlgoKey::Sssp),
+    ] {
+        for m in [MachineKind::Baseline, MachineKind::Omega] {
+            let channels = m.system().machine.dram.channels;
+            let r = s.report(d, a, m).clone();
+            let mut buckets = [0u64; 5];
+            let mut total = 0u64;
+            for c in &r.engine.per_core {
+                buckets[0] += c.compute_cycles;
+                buckets[1] += c.memory_stall_cycles;
+                buckets[2] += c.atomic_stall_cycles;
+                buckets[3] += c.barrier_cycles;
+                buckets[4] += c.drain_cycles;
+                total += c.finish_time;
+            }
+            let share = |b: u64| pct(b as f64 / total.max(1) as f64);
+            let series: Vec<f64> = r
+                .telemetry
+                .as_ref()
+                .map(|tel| {
+                    let mut prev = 0u64;
+                    tel.windows
+                        .iter()
+                        .map(|w| {
+                            let len = w.end.saturating_sub(prev);
+                            prev = w.end;
+                            w.delta.dram.utilization(len, channels)
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            t.row([
+                format!("{}-{}", a.name(), d.code()),
+                m.label(),
+                share(buckets[0]),
+                share(buckets[1]),
+                share(buckets[2]),
+                share(buckets[3]),
+                share(buckets[4]),
+                sparkline(&series, 24),
+            ]);
+        }
     }
     println!("{t}");
 }

@@ -1,0 +1,240 @@
+//! `stats` — dump one run as a machine-readable JSON report, or diff two
+//! previously dumped reports.
+//!
+//! ```text
+//! # Run PageRank on the baseline with telemetry and write the report:
+//! cargo run --release -p omega-bench --bin stats -- dump --out base.json
+//!
+//! # Same workload on OMEGA:
+//! cargo run --release -p omega-bench --bin stats -- \
+//!     dump --machine omega --out omega.json
+//!
+//! # Compare every scalar metric of the two runs:
+//! cargo run --release -p omega-bench --bin stats -- diff base.json omega.json
+//! ```
+//!
+//! `dump` enables telemetry (cycle-windowed sampling + latency histograms)
+//! for its single run and emits the `omega-run-report/v1` schema; `diff`
+//! flattens the scalar numbers of both documents and tabulates them side by
+//! side with relative change.
+
+use omega_bench::json::{flatten_numbers, Json};
+use omega_bench::report_json::run_report_to_json;
+use omega_bench::session::{AlgoKey, MachineKind, Session};
+use omega_bench::table::Table;
+use omega_graph::datasets::{Dataset, DatasetScale};
+use omega_sim::telemetry::TelemetryConfig;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  stats dump [--dataset CODE] [--algo NAME] [--machine KIND] \
+[--scale tiny|small|medium] [--window N] [--out PATH]
+  stats diff A.json B.json
+
+dump defaults: --dataset sd --algo pagerank --machine baseline \
+--scale tiny --window 65536 (stdout)
+machines: baseline, omega, omega-nopisc, omega-nosvb, locked-cache
+algos: pagerank, bfs, sssp, bc, radii, cc, tc, kcore";
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("stats: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn parse_algo(name: &str) -> Option<AlgoKey> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "pagerank" | "pr" => AlgoKey::PageRank,
+        "bfs" => AlgoKey::Bfs,
+        "sssp" => AlgoKey::Sssp,
+        "bc" => AlgoKey::Bc,
+        "radii" => AlgoKey::Radii,
+        "cc" => AlgoKey::Cc,
+        "tc" => AlgoKey::Tc,
+        "kcore" | "kc" => AlgoKey::KCore,
+        _ => return None,
+    })
+}
+
+fn parse_machine(name: &str) -> Option<MachineKind> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "baseline" => MachineKind::Baseline,
+        "omega" => MachineKind::Omega,
+        "omega-nopisc" => MachineKind::OmegaNoPisc,
+        "omega-nosvb" => MachineKind::OmegaNoSvb,
+        "locked-cache" => MachineKind::LockedCache,
+        _ => return None,
+    })
+}
+
+fn parse_scale(name: &str) -> Option<DatasetScale> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "tiny" => DatasetScale::Tiny,
+        "small" => DatasetScale::Small,
+        "medium" => DatasetScale::Medium,
+        _ => return None,
+    })
+}
+
+fn dump(args: &[String]) -> ExitCode {
+    let mut dataset = Dataset::Sd;
+    let mut algo = AlgoKey::PageRank;
+    let mut machine = MachineKind::Baseline;
+    let mut scale = DatasetScale::Tiny;
+    let mut window = TelemetryConfig::DEFAULT_WINDOW;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            return usage_error(&format!("{flag} needs a value"));
+        };
+        match flag.as_str() {
+            "--dataset" => match Dataset::from_code(value) {
+                Some(d) => dataset = d,
+                None => return usage_error(&format!("unknown dataset {value:?}")),
+            },
+            "--algo" => match parse_algo(value) {
+                Some(a) => algo = a,
+                None => return usage_error(&format!("unknown algorithm {value:?}")),
+            },
+            "--machine" => match parse_machine(value) {
+                Some(m) => machine = m,
+                None => return usage_error(&format!("unknown machine {value:?}")),
+            },
+            "--scale" => match parse_scale(value) {
+                Some(s) => scale = s,
+                None => return usage_error(&format!("unknown scale {value:?}")),
+            },
+            "--window" => match value.parse::<u64>() {
+                Ok(n) if n > 0 => window = n,
+                _ => return usage_error(&format!("bad window {value:?}")),
+            },
+            "--out" => out = Some(value.clone()),
+            _ => return usage_error(&format!("unknown flag {flag:?}")),
+        }
+    }
+    let mut session = Session::new(scale);
+    session.verbose = false;
+    session.telemetry = TelemetryConfig::windowed(window);
+    if !session.supports(dataset, algo) {
+        return usage_error(&format!(
+            "{} needs a symmetric graph; {} is directed",
+            algo.name(),
+            dataset.code()
+        ));
+    }
+    let report = session.report(dataset, algo, machine).clone();
+    let mut system = machine.system();
+    system.machine.telemetry = session.telemetry;
+    let mut doc = run_report_to_json(&report, &system);
+    doc.set("dataset", Json::Str(dataset.code().into()));
+    let text = doc.dump();
+    match out {
+        None => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Some(path) => match std::fs::write(&path, &text) {
+            Ok(()) => {
+                eprintln!(
+                    "wrote {path}: {} on {} ({}), {} cycles",
+                    report.algo,
+                    dataset.code(),
+                    report.machine,
+                    report.total_cycles
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("stats: cannot write {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn diff(path_a: &str, path_b: &str) -> ExitCode {
+    let (a, b) = match (load(path_a), load(path_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("stats: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (label, doc) in [(path_a, &a), (path_b, &b)] {
+        if doc.get("schema").and_then(Json::as_str)
+            != Some(omega_bench::report_json::RUN_REPORT_SCHEMA)
+        {
+            eprintln!("stats: {label} is not an omega-run-report/v1 document");
+            return ExitCode::FAILURE;
+        }
+    }
+    let flat_a = flatten_numbers(&a);
+    let flat_b = flatten_numbers(&b);
+    let lookup_b: std::collections::HashMap<&str, f64> =
+        flat_b.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    println!(
+        "A: {} / {} ({})",
+        a.get("algo").and_then(Json::as_str).unwrap_or("?"),
+        a.get("dataset").and_then(Json::as_str).unwrap_or("?"),
+        a.get("machine").and_then(Json::as_str).unwrap_or("?"),
+    );
+    println!(
+        "B: {} / {} ({})\n",
+        b.get("algo").and_then(Json::as_str).unwrap_or("?"),
+        b.get("dataset").and_then(Json::as_str).unwrap_or("?"),
+        b.get("machine").and_then(Json::as_str).unwrap_or("?"),
+    );
+    let mut table = Table::new(vec!["metric", "A", "B", "Δ%"]);
+    // Document order of A, then any metrics only B has.
+    let mut seen = std::collections::HashSet::new();
+    for (key, va) in &flat_a {
+        seen.insert(key.as_str());
+        match lookup_b.get(key.as_str()) {
+            Some(&vb) => {
+                let delta = if *va == 0.0 {
+                    if vb == 0.0 {
+                        "0.0".into()
+                    } else {
+                        "∞".into()
+                    }
+                } else {
+                    format!("{:+.1}", (vb - va) / va * 100.0)
+                };
+                table.row(vec![key.clone(), fmt(*va), fmt(vb), delta]);
+            }
+            None => {
+                table.row(vec![key.clone(), fmt(*va), "—".into(), "—".into()]);
+            }
+        }
+    }
+    for (key, vb) in &flat_b {
+        if !seen.contains(key.as_str()) {
+            table.row(vec![key.clone(), "—".into(), fmt(*vb), "—".into()]);
+        }
+    }
+    println!("{table}");
+    ExitCode::SUCCESS
+}
+
+fn fmt(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("dump") => dump(&args[1..]),
+        Some("diff") if args.len() == 3 => diff(&args[1], &args[2]),
+        Some("diff") => usage_error("diff takes exactly two report paths"),
+        _ => usage_error("expected a subcommand"),
+    }
+}

@@ -3,9 +3,14 @@
 //! suitable as a CI smoke test (runs in seconds at tiny scale).
 //!
 //! ```text
-//! cargo run --release -p omega-bench --bin validate
+//! cargo run --release -p omega-bench --bin validate [-- --json]
 //! ```
+//!
+//! With `--json`, a machine-readable `omega-validate-report/v1` document
+//! goes to stdout (the human-readable lines move to stderr); the exit code
+//! contract is unchanged.
 
+use omega_bench::json::Json;
 use omega_bench::session::{AlgoKey, MachineKind, Session};
 use omega_graph::datasets::{Dataset, DatasetScale};
 use std::process::ExitCode;
@@ -17,6 +22,7 @@ struct Check {
 }
 
 fn main() -> ExitCode {
+    let json_mode = std::env::args().any(|a| a == "--json");
     let mut s = Session::new(DatasetScale::Tiny);
     s.verbose = false;
     let mut checks: Vec<Check> = Vec::new();
@@ -111,23 +117,56 @@ fn main() -> ExitCode {
         detail: format!("{} vs {} cycles", nopisc, omega.total_cycles),
     });
 
-    let mut failed = 0;
+    let mut failed = 0u64;
     for c in &checks {
-        println!(
+        let line = format!(
             "[{}] {} — {}",
             if c.ok { "PASS" } else { "FAIL" },
             c.name,
             c.detail
         );
+        // In JSON mode stdout carries only the document.
+        if json_mode {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
         if !c.ok {
             failed += 1;
         }
     }
+    let summary = if failed == 0 {
+        format!("all {} checks passed", checks.len())
+    } else {
+        format!("{failed} of {} checks FAILED", checks.len())
+    };
+    if json_mode {
+        let mut doc = Json::obj();
+        doc.set("schema", Json::Str("omega-validate-report/v1".into()));
+        doc.set(
+            "checks",
+            Json::Arr(
+                checks
+                    .iter()
+                    .map(|c| {
+                        let mut o = Json::obj();
+                        o.set("name", Json::Str(c.name.into()));
+                        o.set("ok", Json::Bool(c.ok));
+                        o.set("detail", Json::Str(c.detail.clone()));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        doc.set("failed", Json::Num(failed as f64));
+        print!("{}", doc.dump());
+        eprintln!("\n{summary}");
+    } else {
+        println!("\n{summary}");
+    }
     if failed == 0 {
-        println!("\nall {} checks passed", checks.len());
         ExitCode::SUCCESS
     } else {
-        println!("\n{failed} of {} checks FAILED", checks.len());
         ExitCode::FAILURE
     }
 }

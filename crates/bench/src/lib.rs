@@ -12,9 +12,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod json;
 pub mod microbench;
+pub mod report_json;
 pub mod session;
 pub mod table;
 
+pub use json::Json;
+pub use report_json::run_report_to_json;
 pub use session::{MachineKind, Session};
 pub use table::Table;

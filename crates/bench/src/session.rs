@@ -6,6 +6,7 @@ use omega_graph::datasets::{Dataset, DatasetScale};
 use omega_graph::CsrGraph;
 use omega_ligra::algorithms::Algo;
 use omega_ligra::ExecConfig;
+use omega_sim::telemetry::TelemetryConfig;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -164,6 +165,10 @@ pub struct Session {
     runs: HashMap<(Dataset, AlgoKey, MachineKind), RunReport>,
     /// Print progress lines while running.
     pub verbose: bool,
+    /// Telemetry applied to every machine the session builds. Off by
+    /// default; set it *before* the first run of a key — memoised reports
+    /// keep whatever setting was active when they were simulated.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Session {
@@ -174,7 +179,16 @@ impl Session {
             graphs: HashMap::new(),
             runs: HashMap::new(),
             verbose: true,
+            telemetry: TelemetryConfig::off(),
         }
+    }
+
+    /// The machine configuration for `m` with this session's telemetry
+    /// setting applied.
+    fn system_for(telemetry: TelemetryConfig, m: MachineKind) -> SystemConfig {
+        let mut sys = m.system();
+        sys.machine.telemetry = telemetry;
+        sys
     }
 
     /// The session's dataset scale.
@@ -235,6 +249,7 @@ impl Session {
         }
         let graphs = &self.graphs;
         let verbose = self.verbose;
+        let telemetry = self.telemetry;
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -271,7 +286,13 @@ impl Session {
                         if verbose {
                             eprintln!("  [replay] {} on {} ({})", a.name(), d.code(), m.label());
                         }
-                        let report = replay_report(algo.name(), checksum, &raw, &meta, &m.system());
+                        let report = replay_report(
+                            algo.name(),
+                            checksum,
+                            &raw,
+                            &meta,
+                            &Self::system_for(telemetry, m),
+                        );
                         batch.push(((*d, *a, m), report));
                     }
                     results
@@ -300,7 +321,11 @@ impl Session {
                     g.num_arcs()
                 );
             }
-            let report = run(&g, algo, &RunConfig::new(m.system()));
+            let report = run(
+                &g,
+                algo,
+                &RunConfig::new(Self::system_for(self.telemetry, m)),
+            );
             self.runs.insert((d, a, m), report);
         }
         &self.runs[&(d, a, m)]
@@ -397,6 +422,23 @@ mod tests {
         ];
         s.prefetch(&work);
         assert_eq!(s.runs.len(), 1);
+    }
+
+    #[test]
+    fn session_telemetry_setting_reaches_the_reports() {
+        let mut s = Session::new(DatasetScale::Tiny);
+        s.verbose = false;
+        s.telemetry = TelemetryConfig::windowed(4096);
+        // Both run paths: the direct `report` miss and the prefetch pool.
+        let direct = s
+            .report(Dataset::Sd, AlgoKey::PageRank, MachineKind::Omega)
+            .clone();
+        assert!(direct.telemetry.is_some());
+        s.prefetch(&[(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline)]);
+        assert!(s
+            .report(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline)
+            .telemetry
+            .is_some());
     }
 
     #[test]

@@ -31,7 +31,8 @@ use crate::svbuffer::SourceVertexBuffer;
 use omega_ligra::trace::TraceMeta;
 use omega_sim::dram::RowMode;
 use omega_sim::hierarchy::CacheHierarchy;
-use omega_sim::stats::MemStats;
+use omega_sim::stats::{AtomicStats, MemStats, ScratchpadStats};
+use omega_sim::telemetry::{TelemetryReport, WindowSampler};
 use omega_sim::{AccessKind, AccessOutcome, AtomicKind, Blocking, Cycle, MemAccess, MemorySystem};
 use std::collections::HashMap;
 
@@ -56,6 +57,10 @@ pub struct OmegaMemory {
     atomic_lock_wait: u64,
     pim_ops: u64,
     word_dram_accesses: u64,
+    /// Window sampler taken over from the inner hierarchy, so the time
+    /// series is computed from the *combined* statistics (scratchpad and
+    /// PISC counters included). `None` when telemetry is disabled.
+    sampler: Option<WindowSampler>,
 }
 
 impl OmegaMemory {
@@ -89,8 +94,12 @@ impl OmegaMemory {
             omega.mapping_chunk,
             omega.sp_bytes_per_core,
         );
+        let mut inner = CacheHierarchy::new(&machine);
+        // OMEGA drives the windowing itself so windows see scratchpad
+        // counters; the hierarchy keeps collecting its histograms.
+        let sampler = inner.take_sampler();
         OmegaMemory {
-            inner: CacheHierarchy::new(&machine),
+            inner,
             omega,
             ctrl,
             piscs: (0..n).map(|_| PiscEngine::new(omega.sp_latency)).collect(),
@@ -115,6 +124,7 @@ impl OmegaMemory {
             atomic_lock_wait: 0,
             pim_ops: 0,
             word_dram_accesses: 0,
+            sampler,
         }
     }
 
@@ -132,19 +142,34 @@ impl OmegaMemory {
     /// scratchpad/PISC/SVB activity.
     pub fn stats(&self) -> MemStats {
         let mut s = self.inner.stats();
-        s.scratchpad.local_accesses = self.sp_local;
-        s.scratchpad.remote_accesses = self.sp_remote;
-        s.scratchpad.range_misses = self.range_misses;
-        s.scratchpad.pisc_ops = self.piscs.iter().map(|p| p.ops()).sum();
-        s.scratchpad.pisc_busy_cycles = self.piscs.iter().map(|p| p.busy_cycles()).sum();
-        s.scratchpad.svb_hits = self.svbs.iter().map(|b| b.hits()).sum();
-        s.scratchpad.svb_misses = self.svbs.iter().map(|b| b.misses()).sum();
-        s.scratchpad.active_list_updates = self.active_list_updates;
-        s.scratchpad.pim_ops = self.pim_ops;
-        s.scratchpad.word_dram_accesses = self.word_dram_accesses;
-        s.atomics.executed += self.atomics_executed;
-        s.atomics.lock_wait_cycles += self.atomic_lock_wait;
+        s.scratchpad.merge(&ScratchpadStats {
+            local_accesses: self.sp_local,
+            remote_accesses: self.sp_remote,
+            range_misses: self.range_misses,
+            pisc_ops: self.piscs.iter().map(|p| p.ops()).sum(),
+            pisc_busy_cycles: self.piscs.iter().map(|p| p.busy_cycles()).sum(),
+            svb_hits: self.svbs.iter().map(|b| b.hits()).sum(),
+            svb_misses: self.svbs.iter().map(|b| b.misses()).sum(),
+            active_list_updates: self.active_list_updates,
+            pim_ops: self.pim_ops,
+            word_dram_accesses: self.word_dram_accesses,
+        });
+        s.atomics.merge(&AtomicStats {
+            executed: self.atomics_executed,
+            lock_wait_cycles: self.atomic_lock_wait,
+        });
         s
+    }
+
+    /// Ticks the window sampler if `now` crossed a boundary; one compare
+    /// on the common path.
+    fn sample_if_due(&mut self, now: Cycle) {
+        if self.sampler.as_ref().is_some_and(|s| s.due(now)) {
+            let cumulative = self.stats();
+            if let Some(s) = self.sampler.as_mut() {
+                s.tick(now, &cumulative);
+            }
+        }
     }
 
     fn sp_read(
@@ -234,8 +259,10 @@ impl OmegaMemory {
             // then destination id, ~2 cycles per uncached store).
             let issue_done = now + 4;
             let backlog_free = done.saturating_sub(self.omega.pisc_backlog_cycles);
-            if backlog_free > issue_done {
-                self.atomic_lock_wait += backlog_free - issue_done;
+            let wait = backlog_free.saturating_sub(issue_done);
+            self.inner.record_lock_wait(wait);
+            if wait > 0 {
+                self.atomic_lock_wait += wait;
                 AccessOutcome {
                     completion: backlog_free,
                     blocking: Blocking::Full,
@@ -252,6 +279,7 @@ impl OmegaMemory {
             let lock_free = self.sp_locks.get(&access.addr).copied().unwrap_or(0);
             let start = now.max(lock_free);
             self.atomic_lock_wait += start - now;
+            self.inner.record_lock_wait(start - now);
             let read = self.sp_read(
                 core,
                 MemAccess::read(access.addr, access.size),
@@ -324,6 +352,8 @@ impl OmegaMemory {
                 // Fire-and-forget, with the same backlog bound as PISCs.
                 let issue_done = now + 4;
                 let backlog_free = done.saturating_sub(self.omega.pisc_backlog_cycles);
+                self.inner
+                    .record_lock_wait(backlog_free.saturating_sub(issue_done));
                 if backlog_free > issue_done {
                     self.atomic_lock_wait += backlog_free - issue_done;
                     Some(AccessOutcome {
@@ -344,6 +374,7 @@ impl OmegaMemory {
 
 impl MemorySystem for OmegaMemory {
     fn access(&mut self, core: usize, access: MemAccess, now: Cycle) -> AccessOutcome {
+        self.sample_if_due(now);
         let Some(req) = self.ctrl.classify(access.addr) else {
             return self.inner.access(core, access, now);
         };
@@ -372,7 +403,21 @@ impl MemorySystem for OmegaMemory {
     }
 
     fn finish(&mut self, now: Cycle) {
+        if self.sampler.is_some() {
+            let cumulative = self.stats();
+            if let Some(s) = self.sampler.as_mut() {
+                s.flush(now, &cumulative);
+            }
+        }
         self.inner.finish(now);
+    }
+
+    fn take_telemetry(&mut self) -> Option<TelemetryReport> {
+        let mut report = self.inner.take_telemetry()?;
+        if let Some(s) = self.sampler.take() {
+            report.windows = s.into_samples();
+        }
+        Some(report)
     }
 }
 
@@ -651,6 +696,35 @@ mod tests {
         assert_eq!(st.scratchpad.pim_ops, 0);
         assert_eq!(st.scratchpad.word_dram_accesses, 0);
         assert_eq!(st.dram.row_hits, 0);
+    }
+
+    #[test]
+    fn telemetry_windows_include_scratchpad_activity() {
+        let mut sys = system();
+        sys.machine.telemetry = omega_sim::telemetry::TelemetryConfig::windowed(200);
+        let mt = meta(10_000);
+        let layout = Layout::new(&mt);
+        let mut m = OmegaMemory::new(&sys, layout, &mt);
+        let a = m.controller().layout().prop_addr(0, 0);
+        for t in 0..10u64 {
+            m.access(0, MemAccess::read(a, 8), t * 100);
+            m.access(1, MemAccess::atomic(a, 8, AtomicKind::FpAdd), t * 100 + 50);
+        }
+        m.finish(1000);
+        let s = m.stats();
+        let t = m.take_telemetry().expect("telemetry enabled");
+        assert!(m.take_telemetry().is_none());
+        // Window deltas are computed from the combined stats, so the
+        // scratchpad counters recombine to the run totals too.
+        let mut total = MemStats::default();
+        for w in &t.windows {
+            total.merge(&w.delta);
+        }
+        assert_eq!(total, s);
+        assert!(total.scratchpad.accesses() > 0);
+        assert!(total.scratchpad.pisc_ops > 0);
+        // PISC/SVB-path atomics record their (zero or positive) waits.
+        assert_eq!(t.lock_wait.count(), s.atomics.executed);
     }
 
     #[test]

@@ -20,7 +20,8 @@ use omega_ligra::trace::{CollectingTracer, RawTrace, TraceMeta};
 use omega_ligra::{Ctx, ExecConfig};
 use omega_sim::hierarchy::CacheHierarchy;
 use omega_sim::stats::MemStats;
-use omega_sim::{engine, EngineReport};
+use omega_sim::telemetry::TelemetryReport;
+use omega_sim::{engine, EngineReport, MemorySystem};
 
 /// Everything needed to execute one run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,6 +112,9 @@ pub struct RunReport {
     pub n_vertices: u64,
     /// Stored arcs in the graph.
     pub n_arcs: u64,
+    /// Telemetry collected during the replay; `None` unless the machine
+    /// config enabled it (`system.machine.telemetry`).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RunReport {
@@ -160,7 +164,7 @@ pub fn replay(
     raw: &RawTrace,
     meta: &TraceMeta,
     system: &SystemConfig,
-) -> (EngineReport, MemStats, u32) {
+) -> (EngineReport, MemStats, u32, Option<TelemetryReport>) {
     let layout = Layout::new(meta);
     if system.is_omega() {
         let mut mem = OmegaMemory::new(system, layout.clone(), meta);
@@ -168,20 +172,23 @@ pub fn replay(
         let mut stream = LoweringStream::new(raw, &layout, Target::Omega { hot_count: hot });
         let report = engine::run_source(&mut stream, &mut mem, &system.machine);
         let stats = mem.stats();
-        (report, stats, hot)
+        let telemetry = mem.take_telemetry();
+        (report, stats, hot, telemetry)
     } else if let Some(budget) = system.locked_cache_bytes {
         let (mut mem, _pinned) =
             crate::locked::locked_cache_memory(&system.machine, &layout, meta, budget);
         let mut stream = LoweringStream::new(raw, &layout, Target::Baseline);
         let report = engine::run_source(&mut stream, &mut mem, &system.machine);
         let stats = mem.stats();
-        (report, stats, 0)
+        let telemetry = mem.take_telemetry();
+        (report, stats, 0, telemetry)
     } else {
         let mut mem = CacheHierarchy::new(&system.machine);
         let mut stream = LoweringStream::new(raw, &layout, Target::Baseline);
         let report = engine::run_source(&mut stream, &mut mem, &system.machine);
         let stats = mem.stats();
-        (report, stats, 0)
+        let telemetry = mem.take_telemetry();
+        (report, stats, 0, telemetry)
     }
 }
 
@@ -195,7 +202,7 @@ pub fn replay_report(
     meta: &TraceMeta,
     system: &SystemConfig,
 ) -> RunReport {
-    let (engine_report, mem, hot) = replay(raw, meta, system);
+    let (engine_report, mem, hot, telemetry) = replay(raw, meta, system);
     RunReport {
         algo: algo_name.to_string(),
         machine: system.label().to_string(),
@@ -206,6 +213,7 @@ pub fn replay_report(
         hot_count: hot,
         n_vertices: meta.n_vertices,
         n_arcs: meta.n_arcs,
+        telemetry,
     }
 }
 

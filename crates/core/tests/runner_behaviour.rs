@@ -33,7 +33,7 @@ fn one_trace_many_machines_is_consistent_with_fresh_runs() {
     let exec = ExecConfig::default();
     let (_, raw, meta) = trace_algorithm(&g, algo, &exec);
     for system in [SystemConfig::mini_baseline(), SystemConfig::mini_omega()] {
-        let (engine_a, stats_a, _) = replay(&raw, &meta, &system);
+        let (engine_a, stats_a, _, _) = replay(&raw, &meta, &system);
         let fresh = run(&g, algo, &RunConfig::new(system));
         assert_eq!(
             engine_a.total_cycles,

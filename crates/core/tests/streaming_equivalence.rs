@@ -60,7 +60,11 @@ fn streaming_replay_is_bit_identical_to_materialised_replay() {
             let (_, raw, meta) = trace_algorithm(&g, algo, &ExecConfig::default());
             for system in [SystemConfig::mini_baseline(), SystemConfig::mini_omega()] {
                 let (want_engine, want_mem) = replay_materialised(&raw, &meta, &system);
-                let (got_engine, got_mem, _) = replay(&raw, &meta, &system);
+                let (got_engine, got_mem, _, telemetry) = replay(&raw, &meta, &system);
+                assert!(
+                    telemetry.is_none(),
+                    "telemetry must stay off unless requested"
+                );
                 assert_eq!(
                     got_engine,
                     want_engine,

@@ -92,6 +92,9 @@ pub struct MachineConfig {
     /// once the line moves on — atomics pipeline across cores at this
     /// granularity rather than serialising full miss paths.
     pub atomic_handoff: u32,
+    /// Telemetry collection (latency histograms + windowed time series).
+    /// Disabled by default; see [`crate::telemetry`].
+    pub telemetry: crate::telemetry::TelemetryConfig,
 }
 
 impl MachineConfig {
@@ -131,6 +134,7 @@ impl MachineConfig {
             },
             atomic_overhead: 8,
             atomic_handoff: 24,
+            telemetry: crate::telemetry::TelemetryConfig::off(),
         }
     }
 

@@ -9,6 +9,7 @@
 
 use crate::config::DramConfig;
 use crate::stats::DramStats;
+use crate::telemetry::LatencyHistogram;
 use crate::{Cycle, LINE_BYTES};
 
 /// DRAM row span covered by one row-buffer entry, in bytes. Because
@@ -65,6 +66,9 @@ pub struct DramModel {
     channel_last: Vec<Cycle>,
     open_row: Vec<Option<u64>>,
     stats: DramStats,
+    // Per-access queue-delay histogram; None (no per-access cost beyond
+    // one branch) unless telemetry is enabled.
+    queue_histogram: Option<Box<LatencyHistogram>>,
 }
 
 impl DramModel {
@@ -76,7 +80,20 @@ impl DramModel {
             open_row: vec![None; cfg.channels],
             cfg,
             stats: DramStats::default(),
+            queue_histogram: None,
         }
+    }
+
+    /// Starts recording the per-access queue delay (cycles each request
+    /// spends waiting behind its channel's backlog) into a histogram.
+    pub fn enable_telemetry(&mut self) {
+        self.queue_histogram = Some(Box::default());
+    }
+
+    /// Takes the queue-delay histogram collected since
+    /// [`Self::enable_telemetry`], leaving telemetry disabled.
+    pub fn take_queue_histogram(&mut self) -> Option<LatencyHistogram> {
+        self.queue_histogram.take().map(|h| *h)
     }
 
     /// Issues a line-granularity access at `now`; returns its completion
@@ -142,6 +159,9 @@ impl DramModel {
         let ahead = self.channel_backlog[ch].saturating_sub(elapsed);
         self.channel_backlog[ch] = ahead + occupancy;
         self.stats.queue_cycles += ahead;
+        if let Some(h) = self.queue_histogram.as_deref_mut() {
+            h.record(ahead);
+        }
         self.stats.busy_cycles += occupancy;
         self.stats.bytes += bytes as u64;
         if is_write {
@@ -265,6 +285,22 @@ mod tests {
         let t = d.access(0x100, 64, false, RowMode::OpenPage, 10_000);
         assert_eq!(t, 10_000 + 100 + 10);
         assert_eq!(d.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn queue_histogram_sums_to_queue_cycles() {
+        let mut d = model();
+        d.enable_telemetry();
+        for i in 0..10 {
+            d.access_line(i * 0x80, false, 0); // all channel 0: backlog grows
+        }
+        let s = d.stats();
+        let h = d.take_queue_histogram().unwrap();
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), s.queue_cycles as u128);
+        assert!(h.quantile(1.0).unwrap() >= h.quantile(0.5).unwrap());
+        // Telemetry is one-shot: taking it disables further recording.
+        assert!(d.take_queue_histogram().is_none());
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::dram::DramModel;
 use crate::mem::{AccessKind, AccessOutcome, Blocking, MemAccess, MemorySystem};
 use crate::noc::Crossbar;
 use crate::stats::{AtomicStats, CacheStats, MemStats};
+use crate::telemetry::{LatencyHistogram, TelemetryReport, WindowSampler};
 use crate::{line_of, Cycle, LINE_BYTES};
 use std::collections::HashMap;
 
@@ -45,6 +46,16 @@ impl DirEntry {
     }
 }
 
+/// Telemetry the hierarchy itself collects (the DRAM and NoC models own
+/// their histograms). Boxed behind an `Option` so the disabled path pays
+/// one branch.
+#[derive(Debug)]
+struct HierTelemetry {
+    miss_latency: LatencyHistogram,
+    lock_wait: LatencyHistogram,
+    sampler: Option<WindowSampler>,
+}
+
 /// The baseline memory system. See the module docs for the protocol.
 #[derive(Debug)]
 pub struct CacheHierarchy {
@@ -58,13 +69,15 @@ pub struct CacheHierarchy {
     dram: DramModel,
     line_locks: HashMap<u64, Cycle>,
     atomics: AtomicStats,
+    telemetry: Option<Box<HierTelemetry>>,
 }
 
 impl CacheHierarchy {
-    /// Builds the hierarchy for `cfg`.
+    /// Builds the hierarchy for `cfg`. Telemetry hooks (see
+    /// [`crate::telemetry`]) activate when `cfg.telemetry.enabled`.
     pub fn new(cfg: &MachineConfig) -> Self {
         let n = cfg.core.n_cores;
-        CacheHierarchy {
+        let mut h = CacheHierarchy {
             cfg: *cfg,
             l1: (0..n).map(|_| CacheArray::new(&cfg.l1)).collect(),
             l1_stats: vec![CacheStats::default(); n],
@@ -75,6 +88,62 @@ impl CacheHierarchy {
             dram: DramModel::new(cfg.dram),
             line_locks: HashMap::new(),
             atomics: AtomicStats::default(),
+            telemetry: None,
+        };
+        if cfg.telemetry.enabled {
+            h.dram.enable_telemetry();
+            h.noc.enable_telemetry();
+            h.telemetry = Some(Box::new(HierTelemetry {
+                miss_latency: LatencyHistogram::new(),
+                lock_wait: LatencyHistogram::new(),
+                sampler: Some(WindowSampler::new(cfg.telemetry.window_cycles)),
+            }));
+        }
+        h
+    }
+
+    /// Whether telemetry collection is active.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Moves the window sampler out of the hierarchy, so an outer memory
+    /// system (OMEGA) can drive the windowing from *its* combined
+    /// statistics — scratchpad counters included — while the hierarchy
+    /// keeps collecting its histograms. Returns `None` when telemetry is
+    /// disabled.
+    pub fn take_sampler(&mut self) -> Option<WindowSampler> {
+        self.telemetry.as_deref_mut()?.sampler.take()
+    }
+
+    /// Records one atomic's serialisation wait into the lock-wait
+    /// histogram. Outer memory systems route their PISC back-pressure and
+    /// per-entry serialisation waits through this, so one histogram covers
+    /// lock-wait on every machine kind. No-op when telemetry is disabled.
+    #[inline]
+    pub fn record_lock_wait(&mut self, wait: Cycle) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.lock_wait.record(wait);
+        }
+    }
+
+    /// Ticks the window sampler if `now` crossed a boundary (one compare
+    /// on the common path; `stats()` is only assembled when due).
+    fn sample_if_due(&mut self, now: Cycle) {
+        if self
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.sampler.as_ref())
+            .is_some_and(|s| s.due(now))
+        {
+            let cumulative = self.stats();
+            if let Some(s) = self
+                .telemetry
+                .as_deref_mut()
+                .and_then(|t| t.sampler.as_mut())
+            {
+                s.tick(now, &cumulative);
+            }
         }
     }
 
@@ -335,6 +404,10 @@ impl CacheHierarchy {
                     LineState::Exclusive
                 };
                 self.fill_l1(core, line, state, done);
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    // End-to-end L1-miss service time (issue → line at core).
+                    t.miss_latency.record(done.saturating_sub(now));
+                }
                 done
             }
         }
@@ -343,6 +416,7 @@ impl CacheHierarchy {
 
 impl MemorySystem for CacheHierarchy {
     fn access(&mut self, core: usize, access: MemAccess, now: Cycle) -> AccessOutcome {
+        self.sample_if_due(now);
         match access.kind {
             AccessKind::Read | AccessKind::ReadStable => {
                 let completion = self.do_access(core, access, now);
@@ -365,6 +439,7 @@ impl MemorySystem for CacheHierarchy {
                 let lock_free = self.line_locks.get(&line).copied().unwrap_or(0);
                 let start = now.max(lock_free);
                 self.atomics.lock_wait_cycles += start - now;
+                self.record_lock_wait(start - now);
                 let done = self.do_access(core, access, start) + self.cfg.atomic_overhead as u64;
                 // The next core's atomic may begin once the line hands off,
                 // well before this core's pipeline releases.
@@ -379,7 +454,33 @@ impl MemorySystem for CacheHierarchy {
         }
     }
 
-    fn finish(&mut self, _now: Cycle) {}
+    fn finish(&mut self, now: Cycle) {
+        if self.telemetry.as_ref().is_some_and(|t| t.sampler.is_some()) {
+            let cumulative = self.stats();
+            if let Some(s) = self
+                .telemetry
+                .as_deref_mut()
+                .and_then(|t| t.sampler.as_mut())
+            {
+                s.flush(now, &cumulative);
+            }
+        }
+    }
+
+    fn take_telemetry(&mut self) -> Option<TelemetryReport> {
+        let t = *self.telemetry.take()?;
+        Some(TelemetryReport {
+            window_cycles: self.cfg.telemetry.window_cycles,
+            windows: t
+                .sampler
+                .map(WindowSampler::into_samples)
+                .unwrap_or_default(),
+            dram_queue: self.dram.take_queue_histogram().unwrap_or_default(),
+            noc_contention: self.noc.take_contention_histogram().unwrap_or_default(),
+            miss_latency: t.miss_latency,
+            lock_wait: t.lock_wait,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -520,5 +621,58 @@ mod tests {
         let (_, mut h) = mini();
         h.access(0, MemAccess::read(LINE_BYTES, 8), 0); // remote bank
         assert!(h.stats().noc.bytes >= LINE_BYTES);
+    }
+
+    #[test]
+    fn telemetry_collects_histograms_and_windows() {
+        let mut cfg = MachineConfig::mini_baseline();
+        cfg.telemetry = crate::telemetry::TelemetryConfig::windowed(500);
+        let mut h = CacheHierarchy::new(&cfg);
+        assert!(h.telemetry_enabled());
+        for i in 0..20u64 {
+            h.access(0, MemAccess::read(0x4000 + i * LINE_BYTES, 8), i * 100);
+        }
+        h.access(0, MemAccess::atomic(0x4000, 8, AtomicKind::FpAdd), 2000);
+        h.finish(2100);
+        let s = h.stats();
+        let t = h.take_telemetry().expect("telemetry was enabled");
+        // A second take yields nothing.
+        assert!(h.take_telemetry().is_none());
+        // One miss-latency sample per L1 miss; one lock-wait per atomic.
+        assert_eq!(t.miss_latency.count(), s.l1.misses);
+        assert_eq!(t.lock_wait.count(), s.atomics.executed);
+        assert_eq!(t.dram_queue.count(), s.dram.reads + s.dram.writes);
+        assert_eq!(t.window_cycles, 500);
+        assert!(!t.windows.is_empty());
+        // Window deltas recombine to the run totals.
+        let mut total = MemStats::default();
+        for w in &t.windows {
+            total.merge(&w.delta);
+        }
+        assert_eq!(total, s);
+        // Window ends are strictly increasing.
+        for pair in t.windows.windows(2) {
+            assert!(pair[0].end < pair[1].end);
+        }
+    }
+
+    #[test]
+    fn disabled_telemetry_returns_none_and_identical_stats() {
+        let (cfg, mut h) = mini();
+        assert!(!h.telemetry_enabled());
+        let mut cfg_on = cfg;
+        cfg_on.telemetry = crate::telemetry::TelemetryConfig::windowed(256);
+        let mut h_on = CacheHierarchy::new(&cfg_on);
+        for i in 0..50u64 {
+            let a = MemAccess::read((i % 13) * LINE_BYTES, 8);
+            let t = i * 37;
+            assert_eq!(h.access(0, a, t), h_on.access(0, a, t));
+        }
+        h.finish(5000);
+        h_on.finish(5000);
+        // Telemetry must not perturb timing or statistics.
+        assert_eq!(h.stats(), h_on.stats());
+        assert!(h.take_telemetry().is_none());
+        assert!(h_on.take_telemetry().is_some());
     }
 }

@@ -10,8 +10,9 @@
 //! * [`engine`] — the replay engine: per-core in-order issue into a bounded
 //!   outstanding-miss window (approximating the memory-level parallelism of
 //!   the paper's 8-wide, 192-entry-ROB out-of-order cores), full stalls on
-//!   blocking atomics, barrier synchronisation, and cycle attribution
-//!   (compute vs. memory-stall vs. atomic-stall — the TMAM proxy of Fig. 3).
+//!   blocking atomics, barrier synchronisation, and exhaustive cycle
+//!   attribution (issue vs. memory-stall vs. atomic-stall vs. barrier vs.
+//!   drain — the TMAM proxy of Fig. 3; buckets sum to each core's total).
 //! * [`cache`] — set-associative, write-back, write-allocate cache arrays
 //!   with LRU replacement.
 //! * [`hierarchy`] — the baseline CMP memory system of Table III: private
@@ -21,6 +22,9 @@
 //!   and byte-level traffic accounting (Fig. 17).
 //! * [`dram`] — DDR3-like channels with fixed access latency plus
 //!   channel-occupancy-based bandwidth contention (Fig. 16).
+//! * [`telemetry`] — opt-in latency histograms and cycle-windowed
+//!   [`stats::MemStats`] time series (off by default; zero hot-path cost
+//!   when disabled).
 //!
 //! The OMEGA machine (scratchpads + PISC engines) lives in `omega-core` and
 //! plugs in through the [`MemorySystem`] trait.
@@ -53,10 +57,12 @@ pub mod hierarchy;
 pub mod mem;
 pub mod noc;
 pub mod stats;
+pub mod telemetry;
 
 pub use config::{CacheConfig, CoreConfig, DramConfig, MachineConfig, NocConfig};
 pub use engine::{EngineReport, OpSource, Trace, VecOpSource};
 pub use mem::{AccessKind, AccessOutcome, AtomicKind, Blocking, CoreOp, MemAccess, MemorySystem};
+pub use telemetry::{TelemetryConfig, TelemetryReport};
 
 /// Simulation time, in core clock cycles.
 pub type Cycle = u64;

@@ -157,6 +157,15 @@ pub trait MemorySystem {
     /// Called once after the trace is fully replayed, with the final cycle
     /// count, so bandwidth-utilisation statistics can be closed out.
     fn finish(&mut self, _now: Cycle) {}
+
+    /// Takes the telemetry collected during the replay (latency histograms
+    /// and the windowed [`crate::stats::MemStats`] time series). Returns
+    /// `None` when telemetry was disabled — the default for machines that
+    /// do not instrument themselves. Call after [`Self::finish`]; a second
+    /// call returns `None`.
+    fn take_telemetry(&mut self) -> Option<crate::telemetry::TelemetryReport> {
+        None
+    }
 }
 
 #[cfg(test)]

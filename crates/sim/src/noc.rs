@@ -18,6 +18,7 @@
 
 use crate::config::NocConfig;
 use crate::stats::NocStats;
+use crate::telemetry::LatencyHistogram;
 use crate::Cycle;
 
 /// A crossbar with per-packet serialisation and per-port occupancy
@@ -44,6 +45,9 @@ pub struct Crossbar {
     port_last_arrival: Vec<Cycle>,
     port_backlog: Vec<u64>,
     stats: NocStats,
+    // Per-packet contention histogram; None (one branch per packet)
+    // unless telemetry is enabled.
+    contention_histogram: Option<Box<LatencyHistogram>>,
 }
 
 impl Crossbar {
@@ -55,7 +59,21 @@ impl Crossbar {
             port_last_arrival: vec![0; ports],
             port_backlog: vec![0; ports],
             stats: NocStats::default(),
+            contention_histogram: None,
         }
+    }
+
+    /// Starts recording per-packet port contention (queueing beyond the
+    /// packet's own serialisation; zero for uncontended packets) into a
+    /// histogram.
+    pub fn enable_telemetry(&mut self) {
+        self.contention_histogram = Some(Box::default());
+    }
+
+    /// Takes the contention histogram collected since
+    /// [`Self::enable_telemetry`], leaving telemetry disabled.
+    pub fn take_contention_histogram(&mut self) -> Option<LatencyHistogram> {
+        self.contention_histogram.take().map(|h| *h)
     }
 
     fn serialisation(&self, payload_bytes: u32) -> u64 {
@@ -74,7 +92,11 @@ impl Crossbar {
         self.port_last_arrival[dst] = at.max(self.port_last_arrival[dst]);
         let backlog = self.port_backlog[dst].saturating_sub(elapsed) + ser;
         // Anything above one packet's worth of in-flight work is queueing.
-        self.stats.contention_cycles += backlog.saturating_sub(ser);
+        let contention = backlog.saturating_sub(ser);
+        self.stats.contention_cycles += contention;
+        if let Some(h) = self.contention_histogram.as_deref_mut() {
+            h.record(contention);
+        }
         self.port_backlog[dst] = backlog;
         self.port_busy_cycles[dst] += ser;
     }
@@ -197,6 +219,21 @@ mod tests {
             y.send(0, 56, t * 50);
         }
         assert_eq!(y.stats().contention_cycles, 0);
+    }
+
+    #[test]
+    fn contention_histogram_sums_to_contention_cycles() {
+        let mut x = Crossbar::new(cfg(), 1);
+        x.enable_telemetry();
+        for t in 0..100 {
+            x.send(0, 56, t);
+        }
+        let s = x.stats();
+        let h = x.take_contention_histogram().unwrap();
+        // One sample per accounted packet, zeros included.
+        assert_eq!(h.count(), s.packets);
+        assert_eq!(h.sum(), s.contention_cycles as u128);
+        assert!(x.take_contention_histogram().is_none());
     }
 
     #[test]

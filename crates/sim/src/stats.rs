@@ -39,6 +39,17 @@ impl CacheStats {
         self.writebacks += other.writebacks;
         self.invalidations += other.invalidations;
     }
+
+    /// Field-wise difference against an earlier snapshot (saturating, so a
+    /// non-monotone snapshot can never underflow).
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+        }
+    }
 }
 
 /// On-chip interconnect traffic counters (Fig. 17's quantity).
@@ -50,6 +61,26 @@ pub struct NocStats {
     pub bytes: u64,
     /// Cycles spent queueing behind busy ports (contention).
     pub contention_cycles: u64,
+}
+
+impl NocStats {
+    /// Accumulates another instance's counters.
+    pub fn merge(&mut self, other: &NocStats) {
+        self.packets += other.packets;
+        self.bytes += other.bytes;
+        self.contention_cycles += other.contention_cycles;
+    }
+
+    /// Field-wise difference against an earlier snapshot (saturating).
+    pub fn delta_since(&self, earlier: &NocStats) -> NocStats {
+        NocStats {
+            packets: self.packets.saturating_sub(earlier.packets),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            contention_cycles: self
+                .contention_cycles
+                .saturating_sub(earlier.contention_cycles),
+        }
+    }
 }
 
 /// DRAM activity counters (Fig. 16's quantity).
@@ -89,6 +120,28 @@ impl DramStats {
         }
         self.bytes as f64 / elapsed_cycles as f64
     }
+
+    /// Accumulates another instance's counters.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.bytes += other.bytes;
+        self.busy_cycles += other.busy_cycles;
+        self.queue_cycles += other.queue_cycles;
+        self.row_hits += other.row_hits;
+    }
+
+    /// Field-wise difference against an earlier snapshot (saturating).
+    pub fn delta_since(&self, earlier: &DramStats) -> DramStats {
+        DramStats {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            busy_cycles: self.busy_cycles.saturating_sub(earlier.busy_cycles),
+            queue_cycles: self.queue_cycles.saturating_sub(earlier.queue_cycles),
+            row_hits: self.row_hits.saturating_sub(earlier.row_hits),
+        }
+    }
 }
 
 /// Per-line-locked atomic execution counters (baseline cores or PISCs).
@@ -98,6 +151,24 @@ pub struct AtomicStats {
     pub executed: u64,
     /// Cycles spent serialised behind a locked line/vertex.
     pub lock_wait_cycles: u64,
+}
+
+impl AtomicStats {
+    /// Accumulates another instance's counters.
+    pub fn merge(&mut self, other: &AtomicStats) {
+        self.executed += other.executed;
+        self.lock_wait_cycles += other.lock_wait_cycles;
+    }
+
+    /// Field-wise difference against an earlier snapshot (saturating).
+    pub fn delta_since(&self, earlier: &AtomicStats) -> AtomicStats {
+        AtomicStats {
+            executed: self.executed.saturating_sub(earlier.executed),
+            lock_wait_cycles: self
+                .lock_wait_cycles
+                .saturating_sub(earlier.lock_wait_cycles),
+        }
+    }
 }
 
 /// Scratchpad counters (OMEGA machines only; zero on the baseline).
@@ -133,6 +204,42 @@ impl ScratchpadStats {
     pub fn accesses(&self) -> u64 {
         self.local_accesses + self.remote_accesses
     }
+
+    /// Accumulates another instance's counters.
+    pub fn merge(&mut self, other: &ScratchpadStats) {
+        self.local_accesses += other.local_accesses;
+        self.remote_accesses += other.remote_accesses;
+        self.range_misses += other.range_misses;
+        self.pisc_ops += other.pisc_ops;
+        self.pisc_busy_cycles += other.pisc_busy_cycles;
+        self.svb_hits += other.svb_hits;
+        self.svb_misses += other.svb_misses;
+        self.active_list_updates += other.active_list_updates;
+        self.pim_ops += other.pim_ops;
+        self.word_dram_accesses += other.word_dram_accesses;
+    }
+
+    /// Field-wise difference against an earlier snapshot (saturating).
+    pub fn delta_since(&self, earlier: &ScratchpadStats) -> ScratchpadStats {
+        ScratchpadStats {
+            local_accesses: self.local_accesses.saturating_sub(earlier.local_accesses),
+            remote_accesses: self.remote_accesses.saturating_sub(earlier.remote_accesses),
+            range_misses: self.range_misses.saturating_sub(earlier.range_misses),
+            pisc_ops: self.pisc_ops.saturating_sub(earlier.pisc_ops),
+            pisc_busy_cycles: self
+                .pisc_busy_cycles
+                .saturating_sub(earlier.pisc_busy_cycles),
+            svb_hits: self.svb_hits.saturating_sub(earlier.svb_hits),
+            svb_misses: self.svb_misses.saturating_sub(earlier.svb_misses),
+            active_list_updates: self
+                .active_list_updates
+                .saturating_sub(earlier.active_list_updates),
+            pim_ops: self.pim_ops.saturating_sub(earlier.pim_ops),
+            word_dram_accesses: self
+                .word_dram_accesses
+                .saturating_sub(earlier.word_dram_accesses),
+        }
+    }
 }
 
 /// Combined memory-system statistics returned by every machine.
@@ -164,6 +271,31 @@ impl MemStats {
             0.0
         } else {
             hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates every component's counters from `other` — the top-level
+    /// combinator machines and the window sampler use instead of
+    /// hand-summing fields.
+    pub fn merge(&mut self, other: &MemStats) {
+        self.l1.merge(&other.l1);
+        self.l2.merge(&other.l2);
+        self.noc.merge(&other.noc);
+        self.dram.merge(&other.dram);
+        self.atomics.merge(&other.atomics);
+        self.scratchpad.merge(&other.scratchpad);
+    }
+
+    /// Component-wise difference against an earlier snapshot: the
+    /// per-window delta the [`crate::telemetry::WindowSampler`] emits.
+    pub fn delta_since(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            l1: self.l1.delta_since(&earlier.l1),
+            l2: self.l2.delta_since(&earlier.l2),
+            noc: self.noc.delta_since(&earlier.noc),
+            dram: self.dram.delta_since(&earlier.dram),
+            atomics: self.atomics.delta_since(&earlier.atomics),
+            scratchpad: self.scratchpad.delta_since(&earlier.scratchpad),
         }
     }
 }
@@ -216,6 +348,60 @@ mod tests {
         };
         assert!((d.utilization(100, 4) - 1.0).abs() < 1e-12);
         assert_eq!(d.utilization(0, 4), 0.0);
+    }
+
+    #[test]
+    fn mem_stats_merge_undoes_delta_since() {
+        let earlier = MemStats {
+            l1: CacheStats {
+                hits: 5,
+                misses: 2,
+                writebacks: 1,
+                invalidations: 0,
+            },
+            dram: DramStats {
+                reads: 3,
+                bytes: 192,
+                busy_cycles: 30,
+                ..Default::default()
+            },
+            noc: NocStats {
+                packets: 4,
+                bytes: 288,
+                contention_cycles: 7,
+            },
+            atomics: AtomicStats {
+                executed: 2,
+                lock_wait_cycles: 11,
+            },
+            scratchpad: ScratchpadStats {
+                local_accesses: 9,
+                pisc_ops: 3,
+                pisc_busy_cycles: 12,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut later = earlier;
+        later.merge(&earlier); // later = 2 × earlier
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta, earlier);
+        let mut rebuilt = earlier;
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, later);
+    }
+
+    #[test]
+    fn delta_since_saturates_instead_of_underflowing() {
+        let a = MemStats::default();
+        let b = MemStats {
+            l1: CacheStats {
+                hits: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_eq!(a.delta_since(&b), MemStats::default());
     }
 
     #[test]

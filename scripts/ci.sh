@@ -9,4 +9,13 @@ cargo test -q --workspace
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Machine-readable smoke artifacts: the validation report and one telemetry
+# dump (exercises the --json path and the stats binary end to end).
+cargo run --release -q -p omega-bench --bin validate -- --json \
+  > target/validate-report.json
+cargo run --release -q -p omega-bench --bin stats -- \
+  dump --dataset sd --algo pagerank --machine omega --scale tiny \
+  --out target/telemetry-sample.json
+echo "ci: wrote target/validate-report.json and target/telemetry-sample.json"
+
 echo "ci: all checks passed"

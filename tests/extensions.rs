@@ -23,8 +23,8 @@ fn graphmat_replays_on_both_machines_without_pisc_activity() {
     let raw = tracer.finish();
     assert_eq!(raw.classify().prop_atomics, 0);
 
-    let (base, _base_stats, _) = replay(&raw, &meta, &SystemConfig::mini_baseline());
-    let (omega, omega_stats, hot) = replay(&raw, &meta, &SystemConfig::mini_omega());
+    let (base, _base_stats, _, _) = replay(&raw, &meta, &SystemConfig::mini_baseline());
+    let (omega, omega_stats, hot, _) = replay(&raw, &meta, &SystemConfig::mini_omega());
     assert!(hot > 0);
     assert_eq!(omega_stats.scratchpad.pisc_ops, 0, "no atomics to offload");
     assert!(
@@ -117,8 +117,8 @@ fn pull_pagerank_dense_activations_are_absorbed_on_omega() {
         assert!((a - b).abs() < 1e-12);
     }
 
-    let (base, _, _) = replay(&raw, &meta, &SystemConfig::mini_baseline());
-    let (omega, omega_stats, hot) = replay(&raw, &meta, &SystemConfig::mini_omega());
+    let (base, _, _, _) = replay(&raw, &meta, &SystemConfig::mini_baseline());
+    let (omega, omega_stats, hot, _) = replay(&raw, &meta, &SystemConfig::mini_omega());
     assert!(hot > 0);
     // Fully-resident tiny graph: every dense fused activation is absorbed,
     // so the OMEGA replay executes fewer operations than the baseline one.

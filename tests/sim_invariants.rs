@@ -178,6 +178,11 @@ fn barrier_accounting_is_bounded() {
             assert!(core.finish_time <= report.total_cycles);
             assert!(core.barrier_cycles <= core.finish_time);
             assert!(core.compute_cycles <= core.finish_time);
+            assert_eq!(
+                core.attributed_cycles(),
+                core.finish_time,
+                "stall buckets must partition wall time exactly"
+            );
         }
     });
 }
