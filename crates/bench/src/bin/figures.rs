@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! figures <id>... [--tiny]
+//! figures <id>... [--tiny|--medium] [--store PATH]
 //! ids: table1 table2 table3 table4 fig3 fig4a fig4b fig5 fig14 fig15
 //!      fig16 fig17 fig18 fig19 fig20 fig21 abl-pisc abl-chunk abl-svb
 //!      abl-reorder all
@@ -9,17 +9,29 @@
 //!
 //! Each experiment prints the paper's reference value next to the measured
 //! one; EXPERIMENTS.md records a captured run.
+//!
+//! With `--store PATH`, every simulated run and every trace-derived figure
+//! value is persisted in a content-addressed store: a second invocation
+//! against the same store replays nothing and re-traces nothing, yet
+//! produces byte-identical stdout. The final stderr line reports the
+//! store's hit/miss counters together with this process's functional-trace
+//! and timing-replay counts.
 
+use omega_bench::json::Json;
 use omega_bench::session::{AlgoKey, MachineKind, Session};
-use omega_bench::Table;
+use omega_bench::store::{value_fingerprint, StoreCounters};
+use omega_bench::{ExperimentStore, Table};
 use omega_core::analytic::{estimate, WorkloadProfile};
 use omega_core::config::SystemConfig;
-use omega_core::runner::{run, trace_algorithm, RunConfig};
+use omega_core::runner::{
+    functional_trace_count, run, timing_replay_count, trace_algorithm, ExecConfigSer, RunConfig,
+};
 use omega_energy::{energy_breakdown, node_table};
 use omega_graph::datasets::{Dataset, DatasetScale};
 use omega_graph::{reorder, stats};
 use omega_ligra::algorithms::Algo;
 use omega_ligra::ExecConfig;
+use omega_sim::fingerprint::{Canonicalize, Fnv64};
 
 /// The fig. 14-style sweep datasets (the paper's detailed-simulation set;
 /// uk/twitter are handled by the fig. 20 analytic model).
@@ -46,13 +58,30 @@ const SWEEP_ALGOS: [AlgoKey; 5] = [
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let tiny = args.iter().any(|a| a == "--tiny");
-    let medium = args.iter().any(|a| a == "--medium");
-    let ids: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| !a.starts_with("--"))
-        .collect();
+    let mut tiny = false;
+    let mut medium = false;
+    let mut store_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tiny" => tiny = true,
+            "--medium" => medium = true,
+            "--store" => match it.next() {
+                Some(p) => store_path = Some(p.clone()),
+                None => {
+                    eprintln!("figures: --store needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("figures: unknown flag {other:?} (see README)");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    let ids: Vec<&str> = ids.iter().map(String::as_str).collect();
     let scale = if tiny {
         DatasetScale::Tiny
     } else if medium {
@@ -61,6 +90,16 @@ fn main() {
         DatasetScale::Small
     };
     let mut session = Session::new(scale);
+    if let Some(path) = &store_path {
+        session = session.with_store(path).unwrap_or_else(|e| {
+            eprintln!("figures: cannot open store {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+    // Trace-derived figure values (shares, classified trace mixes, ablation
+    // cycle counts) bypass the session's report cache; they get their own
+    // handle on the same store.
+    let values = ValueCache::open(store_path.as_deref(), scale);
 
     let all = [
         "table1",
@@ -112,7 +151,7 @@ fn main() {
         }
         let supported: Vec<_> = work
             .into_iter()
-            .filter(|&(d, a, _)| session.supports(d, a))
+            .filter(|&(d, a, _)| session.supports((d, a)))
             .collect();
         session.prefetch(&supported);
     }
@@ -120,34 +159,137 @@ fn main() {
     for id in selected {
         match id {
             "table1" => table1(&mut session),
-            "table2" => table2(&mut session),
+            "table2" => table2(&mut session, &values),
             "table3" => table3(),
             "table4" => table4(),
             "fig3" => fig3(&mut session),
             "fig4a" => fig4a(&mut session),
-            "fig4b" => fig4b(&mut session),
-            "fig5" => fig5(&mut session),
+            "fig4b" => fig4b(&mut session, &values),
+            "fig5" => fig5(&mut session, &values),
             "fig14" => fig14(&mut session),
             "fig15" => fig15(&mut session),
             "fig16" => fig16(&mut session),
             "fig17" => fig17(&mut session),
-            "fig18" => fig18(&mut session),
+            "fig18" => fig18(&mut session, &values),
             "fig19" => fig19(&mut session),
             "fig20" => fig20(&mut session),
             "fig21" => fig21(&mut session),
             "abl-pisc" => abl_pisc(&mut session),
             "abl-chunk" => abl_chunk(&mut session),
             "abl-svb" => abl_svb(&mut session),
-            "abl-reorder" => abl_reorder(&mut session),
+            "abl-reorder" => abl_reorder(&mut session, &values),
             "abl-offchip" => abl_offchip(&mut session),
-            "abl-slicing" => abl_slicing(&mut session),
-            "abl-graphmat" => abl_graphmat(&mut session),
+            "abl-slicing" => abl_slicing(&mut session, &values),
+            "abl-graphmat" => abl_graphmat(&mut session, &values),
             "abl-locked" => abl_locked(&mut session),
-            "abl-atomics" => abl_atomics(&mut session),
+            "abl-atomics" => abl_atomics(&mut session, &values),
             "telemetry" => telemetry(&session),
             other => eprintln!("unknown experiment id `{other}` (see README)"),
         }
     }
+
+    // One machine-greppable summary line: how much the store served and how
+    // much tracing/replaying this process still had to do. A fully warm
+    // store shows `traces=0 replays=0`.
+    if store_path.is_some() {
+        let mut c = StoreCounters::default();
+        for st in [session.store(), values.store.as_ref()]
+            .into_iter()
+            .flatten()
+        {
+            let k = st.counters();
+            c.hits += k.hits;
+            c.misses += k.misses;
+            c.corrupt += k.corrupt;
+            c.writes += k.writes;
+        }
+        eprintln!(
+            "[store] hits={} misses={} corrupt={} writes={} traces={} replays={}",
+            c.hits,
+            c.misses,
+            c.corrupt,
+            c.writes,
+            functional_trace_count(),
+            timing_replay_count()
+        );
+    }
+}
+
+/// A cache for trace-derived figure values that do not pass through
+/// [`Session::report`] (access-share fractions, trace classification mixes,
+/// ablation cycle counts). Shares the on-disk store with the session but
+/// owns a separate handle.
+struct ValueCache {
+    store: Option<ExperimentStore>,
+    scale: DatasetScale,
+}
+
+impl ValueCache {
+    fn open(path: Option<&str>, scale: DatasetScale) -> ValueCache {
+        let store = path.map(|p| {
+            ExperimentStore::open(p).unwrap_or_else(|e| {
+                eprintln!("figures: cannot open store {p}: {e}");
+                std::process::exit(2);
+            })
+        });
+        ValueCache { store, scale }
+    }
+
+    /// Returns the cached value under `(kind, exec, parts)` or computes,
+    /// persists, and returns it. Both paths go through `decode`, so warm
+    /// and cold runs format identical numbers; a stale or malformed payload
+    /// (impossible without a format bug, but cheap to guard) falls back to
+    /// recomputation.
+    fn get_or<T>(
+        &self,
+        kind: &str,
+        label: &str,
+        exec: Option<&ExecConfigSer>,
+        parts: impl Fn(&mut Fnv64),
+        decode: impl Fn(&Json) -> Option<T>,
+        compute: impl FnOnce() -> Json,
+    ) -> T {
+        let fresh = |v: &Json| decode(v).expect("freshly computed figure value decodes");
+        let Some(store) = &self.store else {
+            return fresh(&compute());
+        };
+        let fp = value_fingerprint(kind, self.scale.code(), exec, parts);
+        if let Some(v) = store.load_value(fp) {
+            if let Some(t) = decode(&v) {
+                return t;
+            }
+        }
+        let v = compute();
+        let t = fresh(&v);
+        if let Err(e) = store.store_value(fp, label, v) {
+            eprintln!("  [store] warning: failed to persist {label}: {e}");
+        }
+        t
+    }
+}
+
+/// Lossless f64 encoding for cached figure values (bit-pattern hex, same
+/// discipline as the run-report codec).
+fn jf(x: f64) -> Json {
+    Json::Str(format!("{:016x}", x.to_bits()))
+}
+
+fn jf_get(v: &Json, key: &str) -> Option<f64> {
+    let s = v.get(key)?.as_str()?;
+    (s.len() == 16)
+        .then(|| u64::from_str_radix(s, 16).ok())
+        .flatten()
+        .map(f64::from_bits)
+}
+
+/// Lossless u64 encoding (decimal string: `Json::Num` is an f64 and would
+/// round counts above 2^53).
+fn ju(x: u64) -> Json {
+    Json::Str(x.to_string())
+}
+
+fn ju_get(v: &Json, key: &str) -> Option<u64> {
+    v.get(key)?.as_str()?.parse().ok()
 }
 
 fn banner(id: &str, caption: &str) {
@@ -203,12 +345,13 @@ fn table1(s: &mut Session) {
 }
 
 /// Table II — algorithm characterisation (static spec + measured rates).
-fn table2(s: &mut Session) {
+fn table2(s: &mut Session, vc: &ValueCache) {
     banner(
         "table2",
         "graph algorithm characterisation, measured on ap (paper Table II)",
     );
     let g = s.graph(Dataset::Ap).clone(); // symmetric: every algorithm runs
+    let exec_ser: ExecConfigSer = ExecConfig::default().into();
     let mut t = Table::new([
         "algo",
         "atomic op",
@@ -222,15 +365,37 @@ fn table2(s: &mut Session) {
     for key in AlgoKey::ALL {
         let algo = key.algo(&g);
         let spec = algo.spec();
-        let exec = ExecConfig::default();
-        let (_, raw, meta) = trace_algorithm(&g, algo, &exec);
-        let c = raw.classify();
-        let monitored = meta.props.iter().filter(|p| p.monitored).count();
+        let (atomic, random, monitored) = vc.get_or(
+            "table2-trace-class",
+            &format!("table2-{}-{}", key.name(), Dataset::Ap.code()),
+            Some(&exec_ser),
+            |h| {
+                h.write_str(Dataset::Ap.code());
+                h.write_str(key.name());
+            },
+            |v| {
+                Some((
+                    jf_get(v, "atomic")?,
+                    jf_get(v, "random")?,
+                    ju_get(v, "monitored")?,
+                ))
+            },
+            || {
+                let (_, raw, meta) = trace_algorithm(&g, algo, &ExecConfig::default());
+                let c = raw.classify();
+                let monitored = meta.props.iter().filter(|p| p.monitored).count();
+                let mut o = Json::obj();
+                o.set("atomic", jf(c.atomic_fraction()));
+                o.set("random", jf(c.random_fraction()));
+                o.set("monitored", ju(monitored as u64));
+                o
+            },
+        );
         t.row([
             spec.name.to_string(),
             spec.atomic_op.to_string(),
-            format!("{} ({})", pct(c.atomic_fraction()), spec.atomic_level),
-            format!("{} ({})", pct(c.random_fraction()), spec.random_level),
+            format!("{} ({})", pct(atomic), spec.atomic_level),
+            format!("{} ({})", pct(random), spec.random_level),
             spec.vtx_prop_bytes.to_string(),
             format!("{} ({})", monitored, spec.n_vtx_props),
             spec.active_list.to_string(),
@@ -321,7 +486,7 @@ fn fig3(s: &mut Session) {
         (Dataset::Wiki, AlgoKey::Sssp),
         (Dataset::Ap, AlgoKey::Cc),
     ] {
-        let r = s.report(d, a, MachineKind::Baseline);
+        let r = s.report((d, a, MachineKind::Baseline));
         let mem = r.engine.memory_bound_fraction();
         let atomic = r.engine.atomic_bound_fraction();
         t.row([
@@ -348,7 +513,7 @@ fn fig4a(s: &mut Session) {
         (Dataset::Wiki, AlgoKey::Sssp),
         (Dataset::Ic, AlgoKey::Bc),
     ] {
-        let r = s.report(d, a, MachineKind::Baseline);
+        let r = s.report((d, a, MachineKind::Baseline));
         t.row([
             format!("{}-{}", a.name(), d.code()),
             pct(r.mem.l1.hit_rate()),
@@ -358,8 +523,35 @@ fn fig4a(s: &mut Session) {
     println!("{t}");
 }
 
+/// Share of vtxProp accesses landing on the 20% most-connected vertices —
+/// the trace-derived number behind figs. 4b, 5, and 18, cached under the
+/// shared `prop-share` kind so the three figures reuse one entry per
+/// workload.
+fn prop_share(s: &mut Session, vc: &ValueCache, d: Dataset, a: AlgoKey) -> f64 {
+    let g = s.graph(d).clone();
+    let exec_ser: ExecConfigSer = ExecConfig::default().into();
+    vc.get_or(
+        "prop-share",
+        &format!("prop-share-{}-{}", a.name(), d.code()),
+        Some(&exec_ser),
+        |h| {
+            h.write_str(d.code());
+            h.write_str(a.name());
+            h.write_u32(200); // hot fraction in permille
+        },
+        |v| jf_get(v, "share"),
+        || {
+            let (_, raw, _) = trace_algorithm(&g, a.algo(&g), &ExecConfig::default());
+            let hot = (g.num_vertices() as f64 * 0.2).ceil() as u32;
+            let mut o = Json::obj();
+            o.set("share", jf(raw.prop_access_fraction_below(hot)));
+            o
+        },
+    )
+}
+
 /// Fig. 4b — share of vtxProp accesses hitting the top-20% vertices.
-fn fig4b(s: &mut Session) {
+fn fig4b(s: &mut Session, vc: &ValueCache) {
     banner(
         "fig4b",
         "vtxProp accesses to the 20% most-connected vertices (paper: >75%)",
@@ -372,20 +564,16 @@ fn fig4b(s: &mut Session) {
         (Dataset::Ic, AlgoKey::Sssp),
         (Dataset::RoadCa, AlgoKey::PageRank),
     ] {
-        let g = s.graph(d).clone();
-        let algo = a.algo(&g);
-        let (_, raw, _) = trace_algorithm(&g, algo, &ExecConfig::default());
-        let hot = (g.num_vertices() as f64 * 0.2).ceil() as u32;
         t.row([
             format!("{}-{}", a.name(), d.code()),
-            pct(raw.prop_access_fraction_below(hot)),
+            pct(prop_share(s, vc, d, a)),
         ]);
     }
     println!("{t}");
 }
 
 /// Fig. 5 — heat map: vtxProp access share to top-20% vertices.
-fn fig5(s: &mut Session) {
+fn fig5(s: &mut Session, vc: &ValueCache) {
     banner(
         "fig5",
         "heat map: vtxProp accesses to top-20% vertices (100 = all)",
@@ -404,17 +592,13 @@ fn fig5(s: &mut Session) {
         std::iter::once("dataset".to_string()).chain(algos.iter().map(|a| a.name().to_string())),
     );
     for d in SWEEP {
-        let g = s.graph(d).clone();
-        let hot = (g.num_vertices() as f64 * 0.2).ceil() as u32;
         let mut cells = vec![d.code().to_string()];
         for a in algos {
-            let algo = a.algo(&g);
-            if !algo.supports(&g) {
+            if !s.supports((d, a)) {
                 cells.push("-".into());
                 continue;
             }
-            let (_, raw, _) = trace_algorithm(&g, algo, &ExecConfig::default());
-            cells.push(pct(raw.prop_access_fraction_below(hot)));
+            cells.push(pct(prop_share(s, vc, d, a)));
         }
         t.row(cells);
     }
@@ -437,7 +621,7 @@ fn fig14(s: &mut Session) {
     for d in SWEEP {
         let mut cells = vec![d.code().to_string()];
         for a in SWEEP_ALGOS {
-            if !s.supports(d, a) {
+            if !s.supports((d, a)) {
                 cells.push("-".into());
                 continue;
             }
@@ -447,7 +631,7 @@ fn fig14(s: &mut Session) {
             cells.push(format!("{sp:.2}x"));
         }
         for a in [AlgoKey::Cc, AlgoKey::Tc] {
-            if d == Dataset::Ap && s.supports(d, a) {
+            if d == Dataset::Ap && s.supports((d, a)) {
                 let sp = s.speedup(d, a);
                 total += sp;
                 count += 1;
@@ -476,9 +660,9 @@ fn fig15(s: &mut Session) {
     let mut n = 0;
     for d in SWEEP {
         let base = s
-            .report(d, AlgoKey::PageRank, MachineKind::Baseline)
+            .report((d, AlgoKey::PageRank, MachineKind::Baseline))
             .clone();
-        let omega = s.report(d, AlgoKey::PageRank, MachineKind::Omega).clone();
+        let omega = s.report((d, AlgoKey::PageRank, MachineKind::Omega)).clone();
         sums.0 += base.mem.last_level_hit_rate();
         sums.1 += omega.mem.last_level_hit_rate();
         n += 1;
@@ -508,9 +692,9 @@ fn fig16(s: &mut Session) {
     let mut n = 0;
     for d in SWEEP {
         let base = s
-            .report(d, AlgoKey::PageRank, MachineKind::Baseline)
+            .report((d, AlgoKey::PageRank, MachineKind::Baseline))
             .clone();
-        let omega = s.report(d, AlgoKey::PageRank, MachineKind::Omega).clone();
+        let omega = s.report((d, AlgoKey::PageRank, MachineKind::Omega)).clone();
         let bu = base.mem.dram.utilization(base.total_cycles, 4);
         let ou = omega.mem.dram.utilization(omega.total_cycles, 4);
         let ratio = if bu > 0.0 { ou / bu } else { 0.0 };
@@ -538,9 +722,9 @@ fn fig17(s: &mut Session) {
     let mut n = 0;
     for d in SWEEP {
         let base = s
-            .report(d, AlgoKey::PageRank, MachineKind::Baseline)
+            .report((d, AlgoKey::PageRank, MachineKind::Baseline))
             .clone();
-        let omega = s.report(d, AlgoKey::PageRank, MachineKind::Omega).clone();
+        let omega = s.report((d, AlgoKey::PageRank, MachineKind::Omega)).clone();
         let red = base.mem.noc.bytes as f64 / omega.mem.noc.bytes.max(1) as f64;
         reds += red;
         n += 1;
@@ -556,7 +740,7 @@ fn fig17(s: &mut Session) {
 }
 
 /// Fig. 18 — power-law vs. non-power-law.
-fn fig18(s: &mut Session) {
+fn fig18(s: &mut Session, vc: &ValueCache) {
     banner(
         "fig18",
         "power-law (lj) vs non-power-law (USA) (paper: USA max 1.15x)",
@@ -568,10 +752,7 @@ fn fig18(s: &mut Session) {
         "top-20% access share %",
     ]);
     for d in [Dataset::Lj, Dataset::Usa] {
-        let g = s.graph(d).clone();
-        let (_, raw, _) = trace_algorithm(&g, AlgoKey::PageRank.algo(&g), &ExecConfig::default());
-        let hot = (g.num_vertices() as f64 * 0.2).ceil() as u32;
-        let share = raw.prop_access_fraction_below(hot);
+        let share = prop_share(s, vc, d, AlgoKey::PageRank);
         t.row([
             d.code().to_string(),
             format!("{:.2}x", s.speedup(d, AlgoKey::PageRank)),
@@ -597,13 +778,13 @@ fn fig19(s: &mut Session) {
     for permille in [1000u32, 500, 250] {
         let m = MachineKind::OmegaScaledSp { permille };
         let base_pr = s
-            .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline)
+            .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline))
             .total_cycles;
         let base_bfs = s
-            .report(Dataset::Lj, AlgoKey::Bfs, MachineKind::Baseline)
+            .report((Dataset::Lj, AlgoKey::Bfs, MachineKind::Baseline))
             .total_cycles;
-        let pr = s.report(Dataset::Lj, AlgoKey::PageRank, m).clone();
-        let bfs = s.report(Dataset::Lj, AlgoKey::Bfs, m).clone();
+        let pr = s.report((Dataset::Lj, AlgoKey::PageRank, m)).clone();
+        let bfs = s.report((Dataset::Lj, AlgoKey::Bfs, m)).clone();
         t.row([
             format!("{}%", permille / 10),
             format!("{:.2}x", base_pr as f64 / pr.total_cycles as f64),
@@ -705,9 +886,9 @@ fn fig21(s: &mut Session) {
     let mut n = 0;
     for d in SWEEP {
         let base = s
-            .report(d, AlgoKey::PageRank, MachineKind::Baseline)
+            .report((d, AlgoKey::PageRank, MachineKind::Baseline))
             .clone();
-        let omega = s.report(d, AlgoKey::PageRank, MachineKind::Omega).clone();
+        let omega = s.report((d, AlgoKey::PageRank, MachineKind::Omega)).clone();
         let eb = energy_breakdown(&base, &MachineKind::Baseline.system());
         let eo = energy_breakdown(&omega, &MachineKind::Omega.system());
         let saving = eb.total_mj() / eo.total_mj();
@@ -726,10 +907,10 @@ fn fig21(s: &mut Session) {
 
     // The stacked component breakdown of the paper's Fig. 21, for lj.
     let base = s
-        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline)
+        .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline))
         .clone();
     let omega = s
-        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Omega)
+        .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::Omega))
         .clone();
     let eb = energy_breakdown(&base, &MachineKind::Baseline.system());
     let eo = energy_breakdown(&omega, &MachineKind::Omega.system());
@@ -766,13 +947,13 @@ fn abl_pisc(s: &mut Session) {
         "scratchpads-as-storage ablation, PageRank lj (paper: 1.3x vs >3x)",
     );
     let base = s
-        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline)
+        .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline))
         .total_cycles;
     let full = s
-        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Omega)
+        .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::Omega))
         .total_cycles;
     let nopisc = s
-        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::OmegaNoPisc)
+        .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::OmegaNoPisc))
         .total_cycles;
     let mut t = Table::new(["machine", "speedup over baseline"]);
     t.row([
@@ -793,14 +974,14 @@ fn abl_chunk(s: &mut Session) {
         "scratchpad-mapping chunk mismatch, PageRank lj (Fig. 12)",
     );
     let matched = s
-        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Omega)
+        .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::Omega))
         .clone();
     let mismatched = s
-        .report(
+        .report((
             Dataset::Lj,
             AlgoKey::PageRank,
             MachineKind::OmegaChunkMismatch,
-        )
+        ))
         .clone();
     let mut t = Table::new([
         "mapping",
@@ -827,13 +1008,13 @@ fn abl_chunk(s: &mut Session) {
 fn abl_svb(s: &mut Session) {
     banner("abl-svb", "source-vertex buffer ablation, SSSP lj (§V.C)");
     let base = s
-        .report(Dataset::Lj, AlgoKey::Sssp, MachineKind::Baseline)
+        .report((Dataset::Lj, AlgoKey::Sssp, MachineKind::Baseline))
         .total_cycles;
     let with = s
-        .report(Dataset::Lj, AlgoKey::Sssp, MachineKind::Omega)
+        .report((Dataset::Lj, AlgoKey::Sssp, MachineKind::Omega))
         .clone();
     let without = s
-        .report(Dataset::Lj, AlgoKey::Sssp, MachineKind::OmegaNoSvb)
+        .report((Dataset::Lj, AlgoKey::Sssp, MachineKind::OmegaNoSvb))
         .clone();
     let mut t = Table::new([
         "machine",
@@ -860,14 +1041,15 @@ fn abl_svb(s: &mut Session) {
 }
 
 /// §III/§VI — reordering algorithm comparison on the baseline.
-fn abl_reorder(s: &mut Session) {
+fn abl_reorder(s: &mut Session, vc: &ValueCache) {
     banner(
         "abl-reorder",
         "offline reordering variants, PageRank lj baseline (paper: ~8% best)",
     );
-    let g = Dataset::Lj
-        .build_unordered(s.scale())
-        .expect("dataset builds");
+    let scale = s.scale();
+    // Built lazily: a fully warm store never constructs the unordered graph.
+    let g = std::cell::OnceCell::new();
+    let cfg = RunConfig::new(SystemConfig::mini_baseline());
     let mut t = Table::new([
         "ordering",
         "baseline cycles",
@@ -888,21 +1070,38 @@ fn abl_reorder(s: &mut Session) {
             reorder::Reordering::SlashBurnLike { hubs_per_round: 64 },
         ),
     ] {
-        let perm = reorder::compute_permutation(&g, ord);
-        let rg = reorder::apply(&g, &perm).expect("permutation sized to graph");
-        let r = run(
-            &rg,
-            Algo::PageRank { iters: 1 },
-            &RunConfig::new(SystemConfig::mini_baseline()),
+        let (cycles, l2_hit) = vc.get_or(
+            "abl-reorder",
+            &format!("abl-reorder-{name}-{}", Dataset::Lj.code()),
+            Some(&cfg.exec),
+            |h| {
+                h.write_str(Dataset::Lj.code());
+                h.write_str("unordered");
+                h.write_str(name);
+                h.write_str("PageRank");
+                cfg.system.canonicalize(h);
+            },
+            |v| Some((ju_get(v, "cycles")?, jf_get(v, "l2_hit_rate")?)),
+            || {
+                let g =
+                    g.get_or_init(|| Dataset::Lj.build_unordered(scale).expect("dataset builds"));
+                let perm = reorder::compute_permutation(g, ord);
+                let rg = reorder::apply(g, &perm).expect("permutation sized to graph");
+                let r = run(&rg, Algo::PageRank { iters: 1 }, &cfg);
+                let mut o = Json::obj();
+                o.set("cycles", ju(r.total_cycles));
+                o.set("l2_hit_rate", jf(r.mem.l2.hit_rate()));
+                o
+            },
         );
         if name == "identity" {
-            identity_cycles = r.total_cycles;
+            identity_cycles = cycles;
         }
         t.row([
             name.to_string(),
-            r.total_cycles.to_string(),
-            pct(r.mem.l2.hit_rate()),
-            format!("{:.2}x", identity_cycles as f64 / r.total_cycles as f64),
+            cycles.to_string(),
+            pct(l2_hit),
+            format!("{:.2}x", identity_cycles as f64 / cycles as f64),
         ]);
     }
     println!("{t}");
@@ -931,9 +1130,9 @@ fn abl_offchip(s: &mut Session) {
         (Dataset::Lj, AlgoKey::PageRank),
         (Dataset::RoadCa, AlgoKey::PageRank),
     ] {
-        let base = s.report(d, a, MachineKind::Baseline).total_cycles;
-        let omega = s.report(d, a, MachineKind::Omega).total_cycles;
-        let ext = s.report(d, a, MachineKind::OmegaOffchip).clone();
+        let base = s.report((d, a, MachineKind::Baseline)).total_cycles;
+        let omega = s.report((d, a, MachineKind::Omega)).total_cycles;
+        let ext = s.report((d, a, MachineKind::OmegaOffchip)).clone();
         t.row([
             format!("{}-{}", a.name(), d.code()),
             format!("{:.2}x", base as f64 / omega as f64),
@@ -950,7 +1149,7 @@ fn abl_offchip(s: &mut Session) {
 /// plain slicing (every slice's vtxProp fits) vs. the paper's
 /// power-law-aware slicing (only each slice's hot 20% must fit), which
 /// cuts the slice count "by up to 5x" and with it the per-slice overhead.
-fn abl_slicing(s: &mut Session) {
+fn abl_slicing(s: &mut Session, vc: &ValueCache) {
     banner(
         "abl-slicing",
         "§VII graph slicing: plain vs power-law-aware (paper: up to 5x fewer slices)",
@@ -962,8 +1161,28 @@ fn abl_slicing(s: &mut Session) {
     let system = SystemConfig::mini_omega().with_scratchpad_bytes(512);
     let slot = 9u64; // PageRank: 8-byte entry + flag byte
     let budget_entries = (512 * 16 / slot) as usize;
+    let cfg = RunConfig::new(system);
 
-    let unsliced = run(&g, Algo::PageRank { iters: 1 }, &RunConfig::new(system)).total_cycles;
+    let unsliced = vc.get_or(
+        "abl-slicing",
+        &format!("abl-slicing-unsliced-{}", Dataset::Uk.code()),
+        Some(&cfg.exec),
+        |h| {
+            h.write_str(Dataset::Uk.code());
+            h.write_str("unsliced");
+            h.write_str("PageRank");
+            cfg.system.canonicalize(h);
+        },
+        |v| ju_get(v, "cycles"),
+        || {
+            let mut o = Json::obj();
+            o.set(
+                "cycles",
+                ju(run(&g, Algo::PageRank { iters: 1 }, &cfg).total_cycles),
+            );
+            o
+        },
+    );
 
     let mut t = Table::new(["strategy", "slices", "total cycles", "vs unsliced"]);
     t.row([
@@ -972,42 +1191,59 @@ fn abl_slicing(s: &mut Session) {
         unsliced.to_string(),
         "1.00x".into(),
     ]);
-    for (name, slices) in [
-        (
-            "whole-slice fits",
-            slicing::slice_by_vertex_budget(&g, budget_entries).expect("budget > 0"),
-        ),
-        (
-            "hot-20% fits (§VII.3)",
-            slicing::slice_hot_budget(&g, budget_entries, 0.2).expect("budget > 0"),
-        ),
-    ] {
-        let mut total = 0u64;
-        for slice in &slices {
-            // Rotate the slice's owned destination range to the id front so
-            // the scratchpads hold exactly this slice's vtxProp segment.
-            let start = slice.dst_range.start;
-            let owned = slice.owned_vertices() as u32;
-            let forward: Vec<u32> = (0..n as u32)
-                .map(|v| {
-                    if slice.dst_range.contains(&v) {
-                        v - start
-                    } else if v < start {
-                        v + owned
-                    } else {
-                        v
-                    }
-                })
-                .collect();
-            let perm = omega_graph::reorder::Permutation::from_forward(forward)
-                .expect("block rotation is a bijection");
-            let rg = omega_graph::reorder::apply(&slice.graph, &perm).expect("sized to graph");
-            let r = run(&rg, Algo::PageRank { iters: 1 }, &RunConfig::new(system));
-            total += r.total_cycles;
-        }
+    for name in ["whole-slice fits", "hot-20% fits (§VII.3)"] {
+        let (n_slices, total) = vc.get_or(
+            "abl-slicing",
+            &format!("abl-slicing-{name}-{}", Dataset::Uk.code()),
+            Some(&cfg.exec),
+            |h| {
+                h.write_str(Dataset::Uk.code());
+                h.write_str(name);
+                h.write_str("PageRank");
+                h.write_usize(budget_entries);
+                cfg.system.canonicalize(h);
+            },
+            |v| Some((ju_get(v, "slices")?, ju_get(v, "cycles")?)),
+            || {
+                let slices = if name == "whole-slice fits" {
+                    slicing::slice_by_vertex_budget(&g, budget_entries).expect("budget > 0")
+                } else {
+                    slicing::slice_hot_budget(&g, budget_entries, 0.2).expect("budget > 0")
+                };
+                let mut total = 0u64;
+                for slice in &slices {
+                    // Rotate the slice's owned destination range to the id
+                    // front so the scratchpads hold exactly this slice's
+                    // vtxProp segment.
+                    let start = slice.dst_range.start;
+                    let owned = slice.owned_vertices() as u32;
+                    let forward: Vec<u32> = (0..n as u32)
+                        .map(|v| {
+                            if slice.dst_range.contains(&v) {
+                                v - start
+                            } else if v < start {
+                                v + owned
+                            } else {
+                                v
+                            }
+                        })
+                        .collect();
+                    let perm = omega_graph::reorder::Permutation::from_forward(forward)
+                        .expect("block rotation is a bijection");
+                    let rg =
+                        omega_graph::reorder::apply(&slice.graph, &perm).expect("sized to graph");
+                    let r = run(&rg, Algo::PageRank { iters: 1 }, &cfg);
+                    total += r.total_cycles;
+                }
+                let mut o = Json::obj();
+                o.set("slices", ju(slices.len() as u64));
+                o.set("cycles", ju(total));
+                o
+            },
+        );
         t.row([
             name.to_string(),
-            slices.len().to_string(),
+            n_slices.to_string(),
             total.to_string(),
             format!("{:.2}x", unsliced as f64 / total as f64),
         ]);
@@ -1021,7 +1257,7 @@ fn abl_slicing(s: &mut Session) {
 /// help but its PISC offload has nothing to do — the speedup is smaller
 /// than under Ligra, which is exactly what makes OMEGA's
 /// framework-independence claim meaningful.
-fn abl_graphmat(s: &mut Session) {
+fn abl_graphmat(s: &mut Session, vc: &ValueCache) {
     banner(
         "abl-graphmat",
         "§V.F framework independence: Ligra vs GraphMat-style PageRank",
@@ -1033,21 +1269,48 @@ fn abl_graphmat(s: &mut Session) {
 
     // Ligra numbers come from the session cache.
     let ligra_base = s
-        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline)
+        .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline))
         .clone();
     let ligra_omega = s
-        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Omega)
+        .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::Omega))
         .clone();
 
-    // GraphMat trace, replayed on both machines.
-    let exec = ExecConfig::default();
-    let mut tracer = CollectingTracer::new(exec.n_cores);
-    let mut ctx = Ctx::new(exec, &mut tracer);
-    graphmat::pagerank_graphmat(&g, &mut ctx, 1);
-    let meta = ctx.meta_for(g.num_vertices() as u64, g.num_arcs(), g.is_weighted());
-    let raw = tracer.finish();
-    let (gm_base, _, _, _) = replay(&raw, &meta, &SystemConfig::mini_baseline());
-    let (gm_omega, gm_stats, _, _) = replay(&raw, &meta, &SystemConfig::mini_omega());
+    // GraphMat trace, replayed on both machines (cached as one value: the
+    // trace is shared, so the two replays always happen together).
+    let exec_ser: ExecConfigSer = ExecConfig::default().into();
+    let (gm_base_cycles, gm_omega_cycles, gm_pisc_ops) = vc.get_or(
+        "abl-graphmat",
+        &format!("abl-graphmat-pagerank-{}", Dataset::Lj.code()),
+        Some(&exec_ser),
+        |h| {
+            h.write_str(Dataset::Lj.code());
+            h.write_str("graphmat-pagerank");
+            SystemConfig::mini_baseline().canonicalize(h);
+            SystemConfig::mini_omega().canonicalize(h);
+        },
+        |v| {
+            Some((
+                ju_get(v, "base_cycles")?,
+                ju_get(v, "omega_cycles")?,
+                ju_get(v, "pisc_ops")?,
+            ))
+        },
+        || {
+            let exec = ExecConfig::default();
+            let mut tracer = CollectingTracer::new(exec.n_cores);
+            let mut ctx = Ctx::new(exec, &mut tracer);
+            graphmat::pagerank_graphmat(&g, &mut ctx, 1);
+            let meta = ctx.meta_for(g.num_vertices() as u64, g.num_arcs(), g.is_weighted());
+            let raw = tracer.finish();
+            let (gm_base, _, _, _) = replay(&raw, &meta, &SystemConfig::mini_baseline());
+            let (gm_omega, gm_stats, _, _) = replay(&raw, &meta, &SystemConfig::mini_omega());
+            let mut o = Json::obj();
+            o.set("base_cycles", ju(gm_base.total_cycles));
+            o.set("omega_cycles", ju(gm_omega.total_cycles));
+            o.set("pisc_ops", ju(gm_stats.scratchpad.pisc_ops));
+            o
+        },
+    );
 
     let mut t = Table::new([
         "framework",
@@ -1068,13 +1331,10 @@ fn abl_graphmat(s: &mut Session) {
     ]);
     t.row([
         "GraphMat (gather, no atomics)".to_string(),
-        gm_base.total_cycles.to_string(),
-        gm_omega.total_cycles.to_string(),
-        format!(
-            "{:.2}x",
-            gm_base.total_cycles as f64 / gm_omega.total_cycles as f64
-        ),
-        gm_stats.scratchpad.pisc_ops.to_string(),
+        gm_base_cycles.to_string(),
+        gm_omega_cycles.to_string(),
+        format!("{:.2}x", gm_base_cycles as f64 / gm_omega_cycles as f64),
+        gm_pisc_ops.to_string(),
     ]);
     println!("{t}");
 }
@@ -1096,14 +1356,14 @@ fn abl_locked(s: &mut Session) {
         "atomic stall %",
     ]);
     let base = s
-        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline)
+        .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline))
         .clone();
     for m in [
         MachineKind::Baseline,
         MachineKind::LockedCache,
         MachineKind::Omega,
     ] {
-        let r = s.report(Dataset::Lj, AlgoKey::PageRank, m).clone();
+        let r = s.report((Dataset::Lj, AlgoKey::PageRank, m)).clone();
         t.row([
             m.label(),
             format!("{:.2}x", base.total_cycles as f64 / r.total_cycles as f64),
@@ -1118,7 +1378,7 @@ fn abl_locked(s: &mut Session) {
 /// §III — the cost of atomic instructions on the baseline, measured the
 /// paper's way: lower every atomic to a plain store and compare (the paper
 /// reports "an overhead of up to 50%" on real hardware).
-fn abl_atomics(s: &mut Session) {
+fn abl_atomics(s: &mut Session, vc: &ValueCache) {
     banner(
         "abl-atomics",
         "§III atomic-instruction overhead on the baseline (paper: up to 50%)",
@@ -1126,6 +1386,7 @@ fn abl_atomics(s: &mut Session) {
     use omega_core::layout::Layout;
     use omega_core::lower::{lower, Target};
     use omega_sim::{engine, hierarchy::CacheHierarchy};
+    let exec_ser: ExecConfigSer = ExecConfig::default().into();
     let mut t = Table::new([
         "workload",
         "with atomics",
@@ -1139,17 +1400,32 @@ fn abl_atomics(s: &mut Session) {
         (Dataset::Ap, AlgoKey::Cc),
     ] {
         let g = s.graph(d).clone();
-        let algo = a.algo(&g);
-        let (_, raw, meta) = trace_algorithm(&g, algo, &ExecConfig::default());
-        let layout = Layout::new(&meta);
-        let machine = SystemConfig::mini_baseline().machine;
-        let run_with = |target: Target| {
-            let mut mem = CacheHierarchy::new(&machine);
-            let traces = lower(&raw, &layout, target);
-            engine::run(traces, &mut mem, &machine).total_cycles
-        };
-        let atomic = run_with(Target::Baseline);
-        let plain = run_with(Target::BaselinePlainAtomics);
+        let (atomic, plain) = vc.get_or(
+            "abl-atomics",
+            &format!("abl-atomics-{}-{}", a.name(), d.code()),
+            Some(&exec_ser),
+            |h| {
+                h.write_str(d.code());
+                h.write_str(a.name());
+                SystemConfig::mini_baseline().canonicalize(h);
+            },
+            |v| Some((ju_get(v, "atomic")?, ju_get(v, "plain")?)),
+            || {
+                let algo = a.algo(&g);
+                let (_, raw, meta) = trace_algorithm(&g, algo, &ExecConfig::default());
+                let layout = Layout::new(&meta);
+                let machine = SystemConfig::mini_baseline().machine;
+                let run_with = |target: Target| {
+                    let mut mem = CacheHierarchy::new(&machine);
+                    let traces = lower(&raw, &layout, target);
+                    engine::run(traces, &mut mem, &machine).total_cycles
+                };
+                let mut o = Json::obj();
+                o.set("atomic", ju(run_with(Target::Baseline)));
+                o.set("plain", ju(run_with(Target::BaselinePlainAtomics)));
+                o
+            },
+        );
         t.row([
             format!("{}-{}", a.name(), d.code()),
             atomic.to_string(),
@@ -1191,13 +1467,24 @@ fn telemetry(outer: &Session) {
         "stall attribution and DRAM bandwidth utilisation over time",
     );
     // A dedicated session: the shared one memoises telemetry-free runs.
-    let mut s = Session::new(outer.scale());
-    s.verbose = false;
+    // It shares the outer session's store root (telemetry settings are part
+    // of the fingerprint, so the entries never collide).
     let window = match outer.scale() {
         DatasetScale::Tiny => 1 << 10,
         _ => TelemetryConfig::DEFAULT_WINDOW,
     };
-    s.telemetry = TelemetryConfig::windowed(window);
+    let mut s = Session::new(outer.scale())
+        .verbose(false)
+        .telemetry(TelemetryConfig::windowed(window));
+    if let Some(store) = outer.store() {
+        s = s.with_store(store.root()).unwrap_or_else(|e| {
+            eprintln!(
+                "figures: cannot reopen store {}: {e}",
+                store.root().display()
+            );
+            std::process::exit(2);
+        });
+    }
     let mut t = Table::new([
         "workload",
         "machine",
@@ -1216,7 +1503,7 @@ fn telemetry(outer: &Session) {
     ] {
         for m in [MachineKind::Baseline, MachineKind::Omega] {
             let channels = m.system().machine.dram.channels;
-            let r = s.report(d, a, m).clone();
+            let r = s.report((d, a, m)).clone();
             let mut buckets = [0u64; 5];
             let mut total = 0u64;
             for c in &r.engine.per_core {

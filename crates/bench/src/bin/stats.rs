@@ -17,22 +17,33 @@
 //! for its single run and emits the `omega-run-report/v1` schema; `diff`
 //! flattens the scalar numbers of both documents and tabulates them side by
 //! side with relative change.
+//!
+//! With `--store PATH`, `dump` consults a persistent content-addressed
+//! experiment store before simulating and persists fresh results into it;
+//! the emitted document then carries a `store` object with this run's
+//! hit/miss counters. `stats store ls|verify|gc PATH` inspects and repairs
+//! such a store.
 
 use omega_bench::json::{flatten_numbers, Json};
 use omega_bench::report_json::run_report_to_json;
-use omega_bench::session::{AlgoKey, MachineKind, Session};
+use omega_bench::session::{AlgoKey, ExperimentSpec, MachineKind, Session};
 use omega_bench::table::Table;
+use omega_bench::ExperimentStore;
 use omega_graph::datasets::{Dataset, DatasetScale};
 use omega_sim::telemetry::TelemetryConfig;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   stats dump [--dataset CODE] [--algo NAME] [--machine KIND] \
-[--scale tiny|small|medium] [--window N] [--out PATH]
+[--scale tiny|small|medium] [--window N] [--store PATH] [--out PATH]
   stats diff A.json B.json
+  stats store ls PATH      list every entry of a persistent store
+  stats store verify PATH  check fingerprints + checksums (JSON to stdout)
+  stats store gc PATH      drop corrupt entries and leftover temp files
 
 dump defaults: --dataset sd --algo pagerank --machine baseline \
 --scale tiny --window 65536 (stdout)
+dump --store reuses/persists the run in a content-addressed store
 machines: baseline, omega, omega-nopisc, omega-nosvb, locked-cache
 algos: pagerank, bfs, sssp, bc, radii, cc, tc, kcore";
 
@@ -82,6 +93,7 @@ fn dump(args: &[String]) -> ExitCode {
     let mut scale = DatasetScale::Tiny;
     let mut window = TelemetryConfig::DEFAULT_WINDOW;
     let mut out: Option<String> = None;
+    let mut store_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let Some(value) = it.next() else {
@@ -109,24 +121,39 @@ fn dump(args: &[String]) -> ExitCode {
                 _ => return usage_error(&format!("bad window {value:?}")),
             },
             "--out" => out = Some(value.clone()),
+            "--store" => store_path = Some(value.clone()),
             _ => return usage_error(&format!("unknown flag {flag:?}")),
         }
     }
-    let mut session = Session::new(scale);
-    session.verbose = false;
-    session.telemetry = TelemetryConfig::windowed(window);
-    if !session.supports(dataset, algo) {
+    let mut session = Session::new(scale)
+        .verbose(false)
+        .telemetry(TelemetryConfig::windowed(window));
+    if let Some(path) = &store_path {
+        session = match session.with_store(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("stats: cannot open store {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+    if !session.supports((dataset, algo)) {
         return usage_error(&format!(
             "{} needs a symmetric graph; {} is directed",
             algo.name(),
             dataset.code()
         ));
     }
-    let report = session.report(dataset, algo, machine).clone();
+    let report = session
+        .report(ExperimentSpec::new(dataset, algo, machine))
+        .clone();
     let mut system = machine.system();
-    system.machine.telemetry = session.telemetry;
+    system.machine.telemetry = session.telemetry_config();
     let mut doc = run_report_to_json(&report, &system);
     doc.set("dataset", Json::Str(dataset.code().into()));
+    if let Some(store) = session.store() {
+        doc.set("store", store_counters_json(store));
+    }
     let text = doc.dump();
     match out {
         None => {
@@ -149,6 +176,108 @@ fn dump(args: &[String]) -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+    }
+}
+
+/// The store's hit/miss counters as a JSON object, embedded in dump
+/// documents so warm-cache runs are distinguishable from cold ones.
+fn store_counters_json(store: &ExperimentStore) -> Json {
+    let c = store.counters();
+    let mut o = Json::obj();
+    o.set("hits", Json::Num(c.hits as f64));
+    o.set("misses", Json::Num(c.misses as f64));
+    o.set("corrupt", Json::Num(c.corrupt as f64));
+    o.set("writes", Json::Num(c.writes as f64));
+    o
+}
+
+/// `stats store ls|verify|gc PATH` — maintenance surface of the
+/// persistent experiment store.
+fn store_cmd(args: &[String]) -> ExitCode {
+    let (action, path) = match args {
+        [a, p] => (a.as_str(), p.as_str()),
+        _ => return usage_error("store takes an action (ls|verify|gc) and a path"),
+    };
+    let store = match ExperimentStore::open(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stats: cannot open store {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match action {
+        "ls" => {
+            let entries = match store.entries() {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("stats: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut t = Table::new(["fingerprint", "kind", "label", "bytes"]);
+            let mut total = 0u64;
+            for e in &entries {
+                total += e.bytes;
+                t.row([
+                    format!("{:016x}", e.fingerprint),
+                    e.kind.clone(),
+                    e.label.clone(),
+                    e.bytes.to_string(),
+                ]);
+            }
+            println!("{t}");
+            println!("{} entries, {total} bytes", entries.len());
+            ExitCode::SUCCESS
+        }
+        "verify" => {
+            // Machine-readable: CI uploads this document as an artifact.
+            let outcome = match store.verify() {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("stats: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut doc = Json::obj();
+            doc.set("schema", Json::Str("omega-store-verify/v1".into()));
+            doc.set("root", Json::Str(store.root().display().to_string()));
+            doc.set("ok", Json::Num(outcome.ok as f64));
+            doc.set(
+                "corrupt",
+                Json::Arr(
+                    outcome
+                        .corrupt
+                        .iter()
+                        .map(|p| Json::Str(p.display().to_string()))
+                        .collect(),
+                ),
+            );
+            println!("{}", doc.dump());
+            if outcome.corrupt.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "gc" => {
+            let outcome = match store.gc() {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("stats: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for p in &outcome.removed {
+                eprintln!("removed {}", p.display());
+            }
+            println!(
+                "kept {} entries, removed {} files",
+                outcome.kept,
+                outcome.removed.len()
+            );
+            ExitCode::SUCCESS
+        }
+        other => usage_error(&format!("unknown store action {other:?}")),
     }
 }
 
@@ -235,6 +364,7 @@ fn main() -> ExitCode {
         Some("dump") => dump(&args[1..]),
         Some("diff") if args.len() == 3 => diff(&args[1], &args[2]),
         Some("diff") => usage_error("diff takes exactly two report paths"),
+        Some("store") => store_cmd(&args[1..]),
         _ => usage_error("expected a subcommand"),
     }
 }

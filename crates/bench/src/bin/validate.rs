@@ -23,16 +23,15 @@ struct Check {
 
 fn main() -> ExitCode {
     let json_mode = std::env::args().any(|a| a == "--json");
-    let mut s = Session::new(DatasetScale::Tiny);
-    s.verbose = false;
+    let mut s = Session::new(DatasetScale::Tiny).verbose(false);
     let mut checks: Vec<Check> = Vec::new();
 
     // 1. Functional equivalence across machines.
     let base = s
-        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline)
+        .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline))
         .clone();
     let omega = s
-        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Omega)
+        .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::Omega))
         .clone();
     checks.push(Check {
         name: "machines compute identical results",
@@ -76,18 +75,18 @@ fn main() -> ExitCode {
     // 6. Road networks stay modest (Fig 18 crossover). At tiny scale both
     // graphs fit the standard scratchpads whole, so the crossover is only
     // visible with capacity-constrained scratchpads (~6% of standard).
-    let constrained = MachineKind::OmegaScaledSp { permille: 63 };
+    let constrained = MachineKind::scaled_sp(63).expect("63‰ keeps the scratchpad above the floor");
     let lb = s
-        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline)
+        .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline))
         .total_cycles;
     let lo = s
-        .report(Dataset::Lj, AlgoKey::PageRank, constrained)
+        .report((Dataset::Lj, AlgoKey::PageRank, constrained))
         .total_cycles;
     let rb = s
-        .report(Dataset::Usa, AlgoKey::PageRank, MachineKind::Baseline)
+        .report((Dataset::Usa, AlgoKey::PageRank, MachineKind::Baseline))
         .total_cycles;
     let ro = s
-        .report(Dataset::Usa, AlgoKey::PageRank, constrained)
+        .report((Dataset::Usa, AlgoKey::PageRank, constrained))
         .total_cycles;
     let lj_constrained = lb as f64 / lo as f64;
     let road_constrained = rb as f64 / ro as f64;
@@ -99,7 +98,7 @@ fn main() -> ExitCode {
 
     // 7. Determinism.
     let again = s
-        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline)
+        .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline))
         .clone();
     checks.push(Check {
         name: "simulation is deterministic",
@@ -109,7 +108,7 @@ fn main() -> ExitCode {
 
     // 8. PISC ablation loses speedup.
     let nopisc = s
-        .report(Dataset::Lj, AlgoKey::PageRank, MachineKind::OmegaNoPisc)
+        .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::OmegaNoPisc))
         .total_cycles;
     checks.push(Check {
         name: "removing PISCs costs performance",

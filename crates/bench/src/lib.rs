@@ -16,9 +16,11 @@ pub mod json;
 pub mod microbench;
 pub mod report_json;
 pub mod session;
+pub mod store;
 pub mod table;
 
 pub use json::Json;
 pub use report_json::run_report_to_json;
-pub use session::{MachineKind, Session};
+pub use session::{ExperimentSpec, MachineKind, Session};
+pub use store::ExperimentStore;
 pub use table::Table;

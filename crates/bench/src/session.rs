@@ -1,13 +1,15 @@
 //! Memoising experiment runner shared by all figures.
 
+use crate::store::ExperimentStore;
 use omega_core::config::SystemConfig;
-use omega_core::runner::{replay_report, run, trace_algorithm, RunConfig, RunReport};
+use omega_core::runner::{replay_report, trace_algorithm, RunConfig, RunReport, Runner};
 use omega_graph::datasets::{Dataset, DatasetScale};
 use omega_graph::CsrGraph;
 use omega_ligra::algorithms::Algo;
 use omega_ligra::ExecConfig;
 use omega_sim::telemetry::TelemetryConfig;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -40,7 +42,40 @@ pub enum MachineKind {
 }
 
 impl MachineKind {
+    /// Smallest scratchpad the OMEGA machine accepts, in bytes per core
+    /// (one cache line's worth of vertex properties).
+    pub const MIN_SP_BYTES: u64 = 64;
+
+    /// Checked constructor for [`MachineKind::OmegaScaledSp`]: rejects a
+    /// permille whose scaled scratchpad would fall below
+    /// [`MachineKind::MIN_SP_BYTES`], instead of silently simulating a
+    /// larger machine than the label claims.
+    pub fn scaled_sp(permille: u32) -> Result<MachineKind, String> {
+        let standard = SystemConfig::mini_omega()
+            .omega
+            .expect("mini_omega always has an omega config")
+            .sp_bytes_per_core;
+        let sp = standard * permille as u64 / 1000;
+        if sp < Self::MIN_SP_BYTES {
+            Err(format!(
+                "scratchpad scale {permille}‰ of {standard} B yields {sp} B/core, \
+                 below the {} B minimum",
+                Self::MIN_SP_BYTES
+            ))
+        } else {
+            Ok(MachineKind::OmegaScaledSp { permille })
+        }
+    }
+
     /// Builds the corresponding system configuration at mini scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an [`MachineKind::OmegaScaledSp`] whose scaled scratchpad
+    /// falls below [`MachineKind::MIN_SP_BYTES`] — use
+    /// [`MachineKind::scaled_sp`] to construct validated instances. (An
+    /// earlier version silently clamped the size upward, which simulated a
+    /// different machine than the label claimed.)
     pub fn system(self) -> SystemConfig {
         match self {
             MachineKind::Baseline => SystemConfig::mini_baseline(),
@@ -48,7 +83,14 @@ impl MachineKind {
             MachineKind::OmegaScaledSp { permille } => {
                 let base = SystemConfig::mini_omega();
                 let sp = base.omega.unwrap().sp_bytes_per_core * permille as u64 / 1000;
-                base.with_scratchpad_bytes(sp.max(64))
+                assert!(
+                    sp >= Self::MIN_SP_BYTES,
+                    "OmegaScaledSp {{ permille: {permille} }} yields a {sp} B/core \
+                     scratchpad, below the {} B minimum; \
+                     use MachineKind::scaled_sp to validate",
+                    Self::MIN_SP_BYTES
+                );
+                base.with_scratchpad_bytes(sp)
             }
             MachineKind::OmegaNoPisc => {
                 let mut s = SystemConfig::mini_omega();
@@ -154,25 +196,94 @@ impl AlgoKey {
     }
 }
 
+/// One fully keyed experiment: which dataset, which algorithm, which
+/// machine. The first-class replacement for the bare
+/// `(Dataset, AlgoKey, MachineKind)` tuples previously threaded through
+/// [`Session`] and the figure/stats bins; tuples still convert via `From`,
+/// so `session.report((d, a, m))` keeps compiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExperimentSpec {
+    /// The input graph.
+    pub dataset: Dataset,
+    /// The workload.
+    pub algo: AlgoKey,
+    /// The machine it runs on.
+    pub machine: MachineKind,
+}
+
+impl ExperimentSpec {
+    /// Builds a spec from its three coordinates.
+    pub fn new(dataset: Dataset, algo: AlgoKey, machine: MachineKind) -> Self {
+        ExperimentSpec {
+            dataset,
+            algo,
+            machine,
+        }
+    }
+
+    /// Human-readable label, e.g. `PageRank-lj@omega`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}-{}@{}",
+            self.algo.name(),
+            self.dataset.code(),
+            self.machine.label()
+        )
+    }
+
+    /// The store fingerprint of this experiment at a given scale and
+    /// telemetry setting: dataset + scale + algorithm + the *complete*
+    /// resolved [`SystemConfig`] and execution configuration, so any
+    /// machine-parameter change invalidates the cached entry.
+    pub fn fingerprint(&self, scale: DatasetScale, telemetry: TelemetryConfig) -> u64 {
+        let cfg = RunConfig::new(Session::system_for(telemetry, self.machine));
+        crate::store::run_fingerprint(
+            self.dataset.code(),
+            scale.code(),
+            self.algo.name(),
+            &cfg.system,
+            &cfg.exec,
+        )
+    }
+}
+
+impl From<(Dataset, AlgoKey, MachineKind)> for ExperimentSpec {
+    fn from((dataset, algo, machine): (Dataset, AlgoKey, MachineKind)) -> Self {
+        ExperimentSpec::new(dataset, algo, machine)
+    }
+}
+
+/// Machine-independent queries (e.g. [`Session::supports`]) accept a bare
+/// `(dataset, algo)` pair; the machine defaults to the baseline.
+impl From<(Dataset, AlgoKey)> for ExperimentSpec {
+    fn from((dataset, algo): (Dataset, AlgoKey)) -> Self {
+        ExperimentSpec::new(dataset, algo, MachineKind::Baseline)
+    }
+}
+
 /// One fully keyed experiment and its result.
-type KeyedReport = ((Dataset, AlgoKey, MachineKind), RunReport);
+type KeyedReport = (ExperimentSpec, RunReport);
 
 /// Memoising experiment session.
+///
+/// Construction is builder-style — `Session::new(scale).verbose(false)
+/// .telemetry(...)` — so the old "set `telemetry` before the first run"
+/// footgun is enforced by the type: both knobs are fixed before any
+/// experiment can execute. [`Session::with_store`] additionally backs the
+/// in-memory memo cache with a persistent on-disk [`ExperimentStore`].
 #[derive(Debug)]
 pub struct Session {
     scale: DatasetScale,
     graphs: HashMap<Dataset, CsrGraph>,
-    runs: HashMap<(Dataset, AlgoKey, MachineKind), RunReport>,
-    /// Print progress lines while running.
-    pub verbose: bool,
-    /// Telemetry applied to every machine the session builds. Off by
-    /// default; set it *before* the first run of a key — memoised reports
-    /// keep whatever setting was active when they were simulated.
-    pub telemetry: TelemetryConfig,
+    runs: HashMap<ExperimentSpec, RunReport>,
+    verbose: bool,
+    telemetry: TelemetryConfig,
+    store: Option<ExperimentStore>,
 }
 
 impl Session {
-    /// Creates a session at the given dataset scale.
+    /// Creates a session at the given dataset scale, verbose, with
+    /// telemetry off and no persistent store.
     pub fn new(scale: DatasetScale) -> Self {
         Session {
             scale,
@@ -180,11 +291,44 @@ impl Session {
             runs: HashMap::new(),
             verbose: true,
             telemetry: TelemetryConfig::off(),
+            store: None,
         }
     }
 
-    /// The machine configuration for `m` with this session's telemetry
-    /// setting applied.
+    /// Sets whether progress lines are printed to stderr while running.
+    pub fn verbose(mut self, verbose: bool) -> Self {
+        self.verbose = verbose;
+        self
+    }
+
+    /// Sets the telemetry configuration applied to every machine this
+    /// session builds.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Backs the session with a persistent experiment store rooted at
+    /// `path` (created if absent): [`Session::report`] and
+    /// [`Session::prefetch`] consult the store before simulating and
+    /// persist every fresh result.
+    pub fn with_store(mut self, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        self.store = Some(ExperimentStore::open(path)?);
+        Ok(self)
+    }
+
+    /// The session's persistent store, if one was attached.
+    pub fn store(&self) -> Option<&ExperimentStore> {
+        self.store.as_ref()
+    }
+
+    /// The session's telemetry configuration.
+    pub fn telemetry_config(&self) -> TelemetryConfig {
+        self.telemetry
+    }
+
+    /// The machine configuration for `m` with the given telemetry setting
+    /// applied.
     fn system_for(telemetry: TelemetryConfig, m: MachineKind) -> SystemConfig {
         let mut sys = m.system();
         sys.machine.telemetry = telemetry;
@@ -206,50 +350,99 @@ impl Session {
     }
 
     /// Whether an algorithm can run on a dataset (symmetry requirement).
-    pub fn supports(&mut self, d: Dataset, a: AlgoKey) -> bool {
-        let g = self.graph(d);
-        a.algo(g).supports(g)
+    /// The spec's machine is irrelevant; `(dataset, algo)` pairs convert.
+    pub fn supports(&mut self, spec: impl Into<ExperimentSpec>) -> bool {
+        let spec = spec.into();
+        let g = self.graph(spec.dataset);
+        spec.algo.algo(g).supports(g)
+    }
+
+    /// Loads `spec`'s report from the persistent store into the memo
+    /// cache, if a store is attached and holds an intact entry.
+    fn load_from_store(&mut self, spec: ExperimentSpec) -> bool {
+        let Some(store) = &self.store else {
+            return false;
+        };
+        let Some(report) = store.load_report(spec.fingerprint(self.scale, self.telemetry)) else {
+            return false;
+        };
+        if self.verbose {
+            eprintln!(
+                "  [store] {} served from {}",
+                spec.label(),
+                store.root().display()
+            );
+        }
+        self.runs.insert(spec, report);
+        true
+    }
+
+    /// Persists a freshly simulated report, if a store is attached.
+    /// Write failures (full disk, permissions) degrade to cache-less
+    /// operation rather than aborting the run.
+    fn persist(
+        store: Option<&ExperimentStore>,
+        scale: DatasetScale,
+        telemetry: TelemetryConfig,
+        spec: ExperimentSpec,
+        report: &RunReport,
+    ) {
+        if let Some(store) = store {
+            let fp = spec.fingerprint(scale, telemetry);
+            if let Err(e) = store.store_report(fp, &spec.label(), report) {
+                eprintln!("  [store] warning: failed to persist {}: {e}", spec.label());
+            }
+        }
     }
 
     /// Runs every experiment in `work` that is not already cached and
     /// stores the reports. Subsequent [`Session::report`] calls are cache
     /// hits.
     ///
-    /// The pending experiments are grouped by `(Dataset, AlgoKey)`: the
-    /// functional (tracing) phase runs **once** per group and every
-    /// requested [`MachineKind`] replays the shared trace through the
-    /// streaming lowering path. Groups execute on a worker pool bounded by
+    /// Store hits are drained first (no trace, no replay). The remaining
+    /// experiments are grouped by `(dataset, algo)`: the functional
+    /// (tracing) phase runs **once** per group and every requested
+    /// [`MachineKind`] replays the shared trace through the streaming
+    /// lowering path. Groups execute on a worker pool bounded by
     /// [`std::thread::available_parallelism`] — simulations are
     /// deterministic and independent, so parallel execution changes nothing
-    /// but wall-clock time.
-    pub fn prefetch(&mut self, work: &[(Dataset, AlgoKey, MachineKind)]) {
-        let pending: Vec<(Dataset, AlgoKey, MachineKind)> = {
+    /// but wall-clock time. Fresh results are persisted from the worker
+    /// threads (the store is `Sync`; writes are atomic).
+    pub fn prefetch<S: Into<ExperimentSpec> + Copy>(&mut self, work: &[S]) {
+        let candidates: Vec<ExperimentSpec> = {
             let mut seen = std::collections::HashSet::new();
             work.iter()
-                .copied()
-                .filter(|key| !self.runs.contains_key(key) && seen.insert(*key))
+                .map(|&s| s.into())
+                .filter(|spec| !self.runs.contains_key(spec) && seen.insert(*spec))
                 .collect()
         };
+        let pending: Vec<ExperimentSpec> = candidates
+            .into_iter()
+            .filter(|&spec| !self.load_from_store(spec))
+            .collect();
         if pending.is_empty() {
             return;
         }
         // Build the needed graphs first (cached, sequential — cheap next to
         // the simulations).
-        for &(d, _, _) in &pending {
-            self.graph(d);
+        for spec in &pending {
+            self.graph(spec.dataset);
         }
         // One group per (dataset, algorithm), in first-seen order: the
         // functional trace is shared by all of the group's machines.
         let mut groups: Vec<((Dataset, AlgoKey), Vec<MachineKind>)> = Vec::new();
-        for &(d, a, m) in &pending {
-            match groups.iter_mut().find(|((gd, ga), _)| (*gd, *ga) == (d, a)) {
-                Some((_, machines)) => machines.push(m),
-                None => groups.push(((d, a), vec![m])),
+        for spec in &pending {
+            let key = (spec.dataset, spec.algo);
+            match groups.iter_mut().find(|(gk, _)| *gk == key) {
+                Some((_, machines)) => machines.push(spec.machine),
+                None => groups.push((key, vec![spec.machine])),
             }
         }
         let graphs = &self.graphs;
         let verbose = self.verbose;
         let telemetry = self.telemetry;
+        let scale = self.scale;
+        let store = self.store.as_ref();
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -275,7 +468,7 @@ impl Session {
                     }
                     // All machine configurations share one core count, so
                     // one functional trace serves every replay (the same
-                    // assumption `run_pair` makes).
+                    // assumption `Runner::run_many` makes).
                     let exec = ExecConfig {
                         n_cores: machines[0].system().machine.core.n_cores,
                         ..ExecConfig::default()
@@ -293,7 +486,9 @@ impl Session {
                             &meta,
                             &Self::system_for(telemetry, m),
                         );
-                        batch.push(((*d, *a, m), report));
+                        let spec = ExperimentSpec::new(*d, *a, m);
+                        Self::persist(store, scale, telemetry, spec, &report);
+                        batch.push((spec, report));
                     }
                     results
                         .lock()
@@ -306,35 +501,41 @@ impl Session {
             .extend(results.into_inner().expect("no panics hold the lock"));
     }
 
-    /// Runs (or fetches) one experiment.
-    pub fn report(&mut self, d: Dataset, a: AlgoKey, m: MachineKind) -> &RunReport {
-        if !self.runs.contains_key(&(d, a, m)) {
-            let g = self.graph(d).clone();
-            let algo = a.algo(&g);
+    /// Runs (or fetches) one experiment. Lookup order: in-memory memo
+    /// cache, then the persistent store (if attached), then a fresh
+    /// simulation (persisted on the way out).
+    pub fn report(&mut self, spec: impl Into<ExperimentSpec>) -> &RunReport {
+        let spec = spec.into();
+        if !self.runs.contains_key(&spec) && !self.load_from_store(spec) {
+            let g = self.graph(spec.dataset).clone();
+            let algo = spec.algo.algo(&g);
             if self.verbose {
                 eprintln!(
                     "  [run] {} on {} ({}) — {} vertices, {} arcs",
-                    a.name(),
-                    d.code(),
-                    m.label(),
+                    spec.algo.name(),
+                    spec.dataset.code(),
+                    spec.machine.label(),
                     g.num_vertices(),
                     g.num_arcs()
                 );
             }
-            let report = run(
-                &g,
-                algo,
-                &RunConfig::new(Self::system_for(self.telemetry, m)),
+            let report = Runner::new(Self::system_for(self.telemetry, spec.machine)).run(&g, algo);
+            Self::persist(
+                self.store.as_ref(),
+                self.scale,
+                self.telemetry,
+                spec,
+                &report,
             );
-            self.runs.insert((d, a, m), report);
+            self.runs.insert(spec, report);
         }
-        &self.runs[&(d, a, m)]
+        &self.runs[&spec]
     }
 
     /// OMEGA-over-baseline speedup for one experiment.
     pub fn speedup(&mut self, d: Dataset, a: AlgoKey) -> f64 {
-        let base = self.report(d, a, MachineKind::Baseline).total_cycles;
-        let omega = self.report(d, a, MachineKind::Omega).total_cycles;
+        let base = self.report((d, a, MachineKind::Baseline)).total_cycles;
+        let omega = self.report((d, a, MachineKind::Omega)).total_cycles;
         if omega == 0 {
             0.0
         } else {
@@ -349,13 +550,16 @@ mod tests {
 
     #[test]
     fn session_memoises_runs() {
-        let mut s = Session::new(DatasetScale::Tiny);
-        s.verbose = false;
+        let mut s = Session::new(DatasetScale::Tiny).verbose(false);
         let a = s
-            .report(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline)
+            .report((Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline))
             .clone();
         let b = s
-            .report(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline)
+            .report(ExperimentSpec::new(
+                Dataset::Sd,
+                AlgoKey::Bfs,
+                MachineKind::Baseline,
+            ))
             .clone();
         assert_eq!(a, b);
         assert_eq!(s.runs.len(), 1);
@@ -389,9 +593,64 @@ mod tests {
     }
 
     #[test]
+    fn scaled_sp_validates_the_permille() {
+        // 8 ‰ of 8 KiB is 65 B, just above the 64 B floor; 7 ‰ (57 B)
+        // falls below it.
+        assert!(MachineKind::scaled_sp(8).is_ok());
+        assert!(MachineKind::scaled_sp(1000).is_ok());
+        let err = MachineKind::scaled_sp(7).unwrap_err();
+        assert!(err.contains("below"), "{err}");
+        // The validated instance builds the size its label claims.
+        let sys = MachineKind::scaled_sp(8).unwrap().system();
+        assert_eq!(sys.omega.unwrap().sp_bytes_per_core, 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the 64 B minimum")]
+    fn undersized_scaled_sp_panics_instead_of_clamping() {
+        MachineKind::OmegaScaledSp { permille: 1 }.system();
+    }
+
+    #[test]
+    fn spec_converts_from_tuples_and_labels() {
+        let spec: ExperimentSpec = (Dataset::Lj, AlgoKey::PageRank, MachineKind::Omega).into();
+        assert_eq!(
+            spec,
+            ExperimentSpec::new(Dataset::Lj, AlgoKey::PageRank, MachineKind::Omega)
+        );
+        assert_eq!(spec.label(), "PageRank-lj@omega");
+        let pair: ExperimentSpec = (Dataset::Lj, AlgoKey::PageRank).into();
+        assert_eq!(pair.machine, MachineKind::Baseline);
+    }
+
+    #[test]
+    fn spec_fingerprints_separate_every_coordinate() {
+        let base = ExperimentSpec::new(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline);
+        let fp = |s: ExperimentSpec| s.fingerprint(DatasetScale::Tiny, TelemetryConfig::off());
+        assert_eq!(fp(base), fp(base));
+        let mut other = base;
+        other.dataset = Dataset::Ap;
+        assert_ne!(fp(base), fp(other));
+        let mut other = base;
+        other.algo = AlgoKey::Cc;
+        assert_ne!(fp(base), fp(other));
+        let mut other = base;
+        other.machine = MachineKind::Omega;
+        assert_ne!(fp(base), fp(other));
+        // Scale and telemetry also key the store.
+        assert_ne!(
+            base.fingerprint(DatasetScale::Tiny, TelemetryConfig::off()),
+            base.fingerprint(DatasetScale::Small, TelemetryConfig::off())
+        );
+        assert_ne!(
+            base.fingerprint(DatasetScale::Tiny, TelemetryConfig::off()),
+            base.fingerprint(DatasetScale::Tiny, TelemetryConfig::windowed(4096))
+        );
+    }
+
+    #[test]
     fn prefetch_fills_the_cache_in_parallel() {
-        let mut s = Session::new(DatasetScale::Tiny);
-        s.verbose = false;
+        let mut s = Session::new(DatasetScale::Tiny).verbose(false);
         let work = [
             (Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline),
             (Dataset::Sd, AlgoKey::Bfs, MachineKind::Omega),
@@ -401,21 +660,19 @@ mod tests {
         assert_eq!(s.runs.len(), 3);
         // Prefetched results are identical to sequential ones.
         let cached = s
-            .report(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline)
+            .report((Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline))
             .clone();
-        let mut fresh_session = Session::new(DatasetScale::Tiny);
-        fresh_session.verbose = false;
+        let mut fresh_session = Session::new(DatasetScale::Tiny).verbose(false);
         let fresh = fresh_session
-            .report(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline)
+            .report((Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline))
             .clone();
         assert_eq!(cached, fresh);
     }
 
     #[test]
     fn prefetch_skips_cached_and_duplicate_work() {
-        let mut s = Session::new(DatasetScale::Tiny);
-        s.verbose = false;
-        s.report(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline);
+        let mut s = Session::new(DatasetScale::Tiny).verbose(false);
+        s.report((Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline));
         let work = [
             (Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline),
             (Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline),
@@ -426,27 +683,26 @@ mod tests {
 
     #[test]
     fn session_telemetry_setting_reaches_the_reports() {
-        let mut s = Session::new(DatasetScale::Tiny);
-        s.verbose = false;
-        s.telemetry = TelemetryConfig::windowed(4096);
+        let mut s = Session::new(DatasetScale::Tiny)
+            .verbose(false)
+            .telemetry(TelemetryConfig::windowed(4096));
         // Both run paths: the direct `report` miss and the prefetch pool.
         let direct = s
-            .report(Dataset::Sd, AlgoKey::PageRank, MachineKind::Omega)
+            .report((Dataset::Sd, AlgoKey::PageRank, MachineKind::Omega))
             .clone();
         assert!(direct.telemetry.is_some());
         s.prefetch(&[(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline)]);
         assert!(s
-            .report(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline)
+            .report((Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline))
             .telemetry
             .is_some());
     }
 
     #[test]
     fn undirected_algos_gated_by_dataset() {
-        let mut s = Session::new(DatasetScale::Tiny);
-        s.verbose = false;
-        assert!(!s.supports(Dataset::Lj, AlgoKey::Cc));
-        assert!(s.supports(Dataset::Ap, AlgoKey::Cc));
-        assert!(s.supports(Dataset::Lj, AlgoKey::PageRank));
+        let mut s = Session::new(DatasetScale::Tiny).verbose(false);
+        assert!(!s.supports((Dataset::Lj, AlgoKey::Cc)));
+        assert!(s.supports((Dataset::Ap, AlgoKey::Cc)));
+        assert!(s.supports((Dataset::Lj, AlgoKey::PageRank)));
     }
 }

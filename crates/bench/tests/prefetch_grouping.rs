@@ -12,8 +12,7 @@ use omega_graph::datasets::{Dataset, DatasetScale};
 
 #[test]
 fn prefetch_traces_once_per_group_and_fills_every_machine() {
-    let mut s = Session::new(DatasetScale::Tiny);
-    s.verbose = false;
+    let mut s = Session::new(DatasetScale::Tiny).verbose(false);
     let machines = [
         MachineKind::Baseline,
         MachineKind::Omega,
@@ -47,7 +46,7 @@ fn prefetch_traces_once_per_group_and_fills_every_machine() {
     let before = functional_trace_count();
     let mut checksums = Vec::new();
     for &(d, a, m) in &work {
-        let r = s.report(d, a, m).clone();
+        let r = s.report((d, a, m)).clone();
         assert!(r.total_cycles > 0, "{:?}/{:?}/{:?} not simulated", d, a, m);
         checksums.push(((d, a), r.checksum));
     }

@@ -1,0 +1,48 @@
+//! A warm store serves a whole session without a single functional trace
+//! or timing replay.
+//!
+//! Lives in its own integration-test binary (like `prefetch_grouping`)
+//! because it asserts exact deltas of the process-wide trace/replay
+//! counters, which parallel tests in a shared binary would disturb.
+
+use omega_bench::session::{AlgoKey, MachineKind, Session};
+use omega_core::runner::{functional_trace_count, timing_replay_count};
+use omega_graph::datasets::{Dataset, DatasetScale};
+
+#[test]
+fn warm_store_serves_everything_without_tracing_or_replaying() {
+    let dir = std::env::temp_dir().join(format!("omega-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let work = [
+        (Dataset::Sd, AlgoKey::PageRank, MachineKind::Baseline),
+        (Dataset::Sd, AlgoKey::PageRank, MachineKind::Omega),
+        (Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline),
+        (Dataset::Usa, AlgoKey::Sssp, MachineKind::Omega),
+    ];
+    let mut cold = Session::new(DatasetScale::Tiny)
+        .verbose(false)
+        .with_store(&dir)
+        .expect("store opens");
+    cold.prefetch(&work);
+    let cold_reports: Vec<_> = work.iter().map(|&w| cold.report(w).clone()).collect();
+    assert!(functional_trace_count() > 0, "cold run traced");
+    drop(cold);
+
+    let mut warm = Session::new(DatasetScale::Tiny)
+        .verbose(false)
+        .with_store(&dir)
+        .expect("store opens");
+    let traces = functional_trace_count();
+    let replays = timing_replay_count();
+    // Both consumption paths: the batch prefetch and individual reports.
+    warm.prefetch(&work);
+    for (&w, cold_r) in work.iter().zip(&cold_reports) {
+        assert_eq!(warm.report(w), cold_r, "warm report differs for {w:?}");
+    }
+    assert_eq!(functional_trace_count(), traces, "warm run must not trace");
+    assert_eq!(timing_replay_count(), replays, "warm run must not replay");
+    let counters = warm.store().expect("attached").counters();
+    assert_eq!(counters.hits, work.len() as u64);
+    assert_eq!(counters.corrupt, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

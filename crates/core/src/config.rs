@@ -5,6 +5,7 @@
 //! storage identical, and adds a PISC next to each scratchpad (<1% area).
 //! All latency parameters stay at their Table III values at every scale.
 
+use omega_sim::fingerprint::{Canonicalize, Fnv64};
 use omega_sim::{Cycle, MachineConfig};
 
 /// The off-chip memory extensions the paper defers to future work (§IX
@@ -206,6 +207,47 @@ impl SystemConfig {
     }
 }
 
+impl Canonicalize for OffchipExtensions {
+    fn canonicalize(&self, h: &mut Fnv64) {
+        h.write_bool(self.word_dram);
+        h.write_bool(self.pim);
+        h.write_bool(self.hybrid_page);
+    }
+}
+
+impl Canonicalize for OmegaConfig {
+    fn canonicalize(&self, h: &mut Fnv64) {
+        h.write_u64(self.sp_bytes_per_core);
+        h.write_u32(self.sp_latency);
+        h.write_usize(self.mapping_chunk);
+        h.write_bool(self.pisc_enabled);
+        h.write_bool(self.svb_enabled);
+        h.write_usize(self.svb_entries);
+        h.write_u64(self.pisc_backlog_cycles);
+        self.ext.canonicalize(h);
+    }
+}
+
+impl Canonicalize for SystemConfig {
+    fn canonicalize(&self, h: &mut Fnv64) {
+        self.machine.canonicalize(h);
+        match &self.omega {
+            None => h.write_u8(0),
+            Some(o) => {
+                h.write_u8(1);
+                o.canonicalize(h);
+            }
+        }
+        match self.locked_cache_bytes {
+            None => h.write_u8(0),
+            Some(b) => {
+                h.write_u8(1);
+                h.write_u64(b);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +290,34 @@ mod tests {
         assert_eq!(o.machine.l2.capacity, 1024 * 1024);
         assert_eq!(o.omega.unwrap().sp_bytes_per_core, 1024 * 1024);
         assert_eq!(o.omega.unwrap().sp_latency, 3);
+    }
+
+    #[test]
+    fn system_canonicalisation_separates_machine_variants() {
+        let digest = |s: &SystemConfig| {
+            let mut h = Fnv64::new();
+            s.canonicalize(&mut h);
+            h.finish()
+        };
+        let variants = [
+            SystemConfig::mini_baseline(),
+            SystemConfig::mini_omega(),
+            SystemConfig::mini_locked_cache(),
+            SystemConfig::mini_omega().with_scratchpad_bytes(4 * 1024),
+            SystemConfig::paper_omega(),
+        ];
+        for (i, a) in variants.iter().enumerate() {
+            assert_eq!(digest(a), digest(&a.clone()));
+            for b in &variants[i + 1..] {
+                assert_ne!(digest(a), digest(b), "{} vs {}", a.label(), b.label());
+            }
+        }
+        // Omega sub-fields reach the digest through the Option.
+        let mut nosvb = SystemConfig::mini_omega();
+        nosvb.omega.as_mut().unwrap().svb_enabled = false;
+        assert_ne!(digest(&SystemConfig::mini_omega()), digest(&nosvb));
+        let mut ext = SystemConfig::mini_omega();
+        ext.omega.as_mut().unwrap().ext = OffchipExtensions::all();
+        assert_ne!(digest(&SystemConfig::mini_omega()), digest(&ext));
     }
 }

@@ -1,12 +1,14 @@
 //! One-call experiment execution: functional run → trace → lowering →
 //! timing replay → report.
 //!
-//! [`run`] is the entry point used by the figure harness, the examples,
+//! [`Runner`] is the entry point used by the figure harness, the examples,
 //! and the integration tests. It executes an algorithm functionally under
-//! the tracing framework, lowers the trace for the requested machine, and
-//! replays it cycle-accurately, returning a [`RunReport`] with the
-//! functional checksum (identical across machines — the architecture must
-//! not change results) and all timing/memory statistics.
+//! the tracing framework, lowers the trace for the requested machine(s),
+//! and replays it cycle-accurately, returning a [`RunReport`] per machine
+//! with the functional checksum (identical across machines — the
+//! architecture must not change results) and all timing/memory statistics.
+//! The free functions [`run`] and [`run_pair`] remain as thin wrappers over
+//! the builder.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -18,9 +20,10 @@ use omega_graph::CsrGraph;
 use omega_ligra::algorithms::Algo;
 use omega_ligra::trace::{CollectingTracer, RawTrace, TraceMeta};
 use omega_ligra::{Ctx, ExecConfig};
+use omega_sim::fingerprint::{Canonicalize, Fnv64};
 use omega_sim::hierarchy::CacheHierarchy;
 use omega_sim::stats::MemStats;
-use omega_sim::telemetry::TelemetryReport;
+use omega_sim::telemetry::{TelemetryConfig, TelemetryReport};
 use omega_sim::{engine, EngineReport, MemorySystem};
 
 /// Everything needed to execute one run.
@@ -68,6 +71,16 @@ impl From<ExecConfigSer> for ExecConfig {
     }
 }
 
+impl Canonicalize for ExecConfigSer {
+    fn canonicalize(&self, h: &mut Fnv64) {
+        h.write_usize(self.n_cores);
+        h.write_usize(self.chunk_size);
+        h.write_u64(self.dense_threshold_div);
+        h.write_u32(self.compute_per_edge_x100);
+        h.write_u32(self.compute_per_vertex_x100);
+    }
+}
+
 impl RunConfig {
     /// A run configuration with framework defaults, matched to the
     /// machine's core count.
@@ -88,6 +101,121 @@ impl RunConfig {
     pub fn with_chunk_size(mut self, chunk: usize) -> Self {
         self.exec.chunk_size = chunk;
         self
+    }
+}
+
+/// Builder over the trace/replay pipeline: one functional trace, replayed
+/// on one or more machines.
+///
+/// ```
+/// use omega_core::config::SystemConfig;
+/// use omega_core::runner::Runner;
+/// use omega_graph::datasets::{Dataset, DatasetScale};
+/// use omega_ligra::algorithms::Algo;
+///
+/// let g = Dataset::Sd.build(DatasetScale::Tiny).unwrap();
+/// let reports = Runner::new(SystemConfig::mini_baseline())
+///     .also(SystemConfig::mini_omega())
+///     .run_many(&g, Algo::PageRank { iters: 1 });
+/// assert_eq!(reports[0].checksum, reports[1].checksum);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Runner {
+    systems: Vec<SystemConfig>,
+    exec: Option<ExecConfigSer>,
+    chunk_size: Option<usize>,
+    telemetry: Option<TelemetryConfig>,
+}
+
+impl Runner {
+    /// A runner targeting one machine. Framework execution parameters
+    /// default to [`ExecConfig::default`] with the core count taken from
+    /// this (first) machine.
+    pub fn new(system: SystemConfig) -> Self {
+        Runner {
+            systems: vec![system],
+            exec: None,
+            chunk_size: None,
+            telemetry: None,
+        }
+    }
+
+    /// Adds another machine replaying the same functional trace. All
+    /// machines must share the first machine's core count — the trace is
+    /// per-core.
+    pub fn also(mut self, system: SystemConfig) -> Self {
+        self.systems.push(system);
+        self
+    }
+
+    /// Overrides the framework execution parameters.
+    pub fn exec(mut self, exec: impl Into<ExecConfigSer>) -> Self {
+        self.exec = Some(exec.into());
+        self
+    }
+
+    /// Overrides the framework's OpenMP-style chunk size (applied on top of
+    /// whatever [`Runner::exec`] set).
+    pub fn chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk_size = Some(chunk);
+        self
+    }
+
+    /// Enables telemetry collection on every target machine, overriding
+    /// each machine's own `machine.telemetry` setting.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The effective execution parameters this runner will trace with.
+    pub fn resolved_exec(&self) -> ExecConfigSer {
+        let mut exec = self.exec.unwrap_or_else(|| {
+            ExecConfig {
+                n_cores: self.systems[0].machine.core.n_cores,
+                ..ExecConfig::default()
+            }
+            .into()
+        });
+        if let Some(chunk) = self.chunk_size {
+            exec.chunk_size = chunk;
+        }
+        exec
+    }
+
+    /// The effective system configurations, with any [`Runner::telemetry`]
+    /// override applied.
+    pub fn resolved_systems(&self) -> Vec<SystemConfig> {
+        self.systems
+            .iter()
+            .map(|sys| {
+                let mut sys = *sys;
+                if let Some(t) = self.telemetry {
+                    sys.machine.telemetry = t;
+                }
+                sys
+            })
+            .collect()
+    }
+
+    /// Traces `algo` on `g` once and replays it on every target machine,
+    /// returning one report per [`Runner::new`]/[`Runner::also`] machine in
+    /// order.
+    pub fn run_many(&self, g: &CsrGraph, algo: Algo) -> Vec<RunReport> {
+        let exec: ExecConfig = self.resolved_exec().into();
+        let (checksum, raw, meta) = trace_algorithm(g, algo, &exec);
+        self.resolved_systems()
+            .iter()
+            .map(|sys| replay_report(algo.name(), checksum, &raw, &meta, sys))
+            .collect()
+    }
+
+    /// Runs end to end on the first (usually only) target machine.
+    pub fn run(&self, g: &CsrGraph, algo: Algo) -> RunReport {
+        self.run_many(g, algo)
+            .into_iter()
+            .next()
+            .expect("a runner always has at least one machine")
     }
 }
 
@@ -144,6 +272,16 @@ pub fn functional_trace_count() -> u64 {
     FUNCTIONAL_TRACES.load(Ordering::Relaxed)
 }
 
+/// Number of timing replays executed by this process — the counterpart of
+/// [`functional_trace_count`] used by the warm-store CI check to prove a
+/// cached sweep simulates nothing at all.
+static TIMING_REPLAYS: AtomicU64 = AtomicU64::new(0);
+
+/// How many timing replays this process has executed so far.
+pub fn timing_replay_count() -> u64 {
+    TIMING_REPLAYS.load(Ordering::Relaxed)
+}
+
 /// Runs `algo` on `g` functionally, collecting the trace (shared step of
 /// every experiment). Returns `(checksum, raw trace, meta)`.
 pub fn trace_algorithm(g: &CsrGraph, algo: Algo, exec: &ExecConfig) -> (f64, RawTrace, TraceMeta) {
@@ -165,6 +303,7 @@ pub fn replay(
     meta: &TraceMeta,
     system: &SystemConfig,
 ) -> (EngineReport, MemStats, u32, Option<TelemetryReport>) {
+    TIMING_REPLAYS.fetch_add(1, Ordering::Relaxed);
     let layout = Layout::new(meta);
     if system.is_omega() {
         let mut mem = OmegaMemory::new(system, layout.clone(), meta);
@@ -218,29 +357,28 @@ pub fn replay_report(
 }
 
 /// Runs `algo` on `g` under `cfg` end to end.
+///
+/// Thin wrapper kept for call-site compatibility; prefer
+/// `Runner::new(cfg.system).exec(cfg.exec).run(g, algo)`.
 pub fn run(g: &CsrGraph, algo: Algo, cfg: &RunConfig) -> RunReport {
-    let exec: ExecConfig = cfg.exec.into();
-    let (checksum, raw, meta) = trace_algorithm(g, algo, &exec);
-    replay_report(algo.name(), checksum, &raw, &meta, &cfg.system)
+    Runner::new(cfg.system).exec(cfg.exec).run(g, algo)
 }
 
 /// Convenience: runs `algo` on both the baseline and the OMEGA machine
 /// (sharing one functional trace) and returns `(baseline, omega)`.
+///
+/// Thin wrapper kept for call-site compatibility; prefer
+/// `Runner::new(*baseline).also(*omega).run_many(g, algo)`.
 pub fn run_pair(
     g: &CsrGraph,
     algo: Algo,
     baseline: &SystemConfig,
     omega: &SystemConfig,
 ) -> (RunReport, RunReport) {
-    let exec = ExecConfig {
-        n_cores: baseline.machine.core.n_cores,
-        ..ExecConfig::default()
-    };
-    let (checksum, raw, meta) = trace_algorithm(g, algo, &exec);
-    (
-        replay_report(algo.name(), checksum, &raw, &meta, baseline),
-        replay_report(algo.name(), checksum, &raw, &meta, omega),
-    )
+    let mut reports = Runner::new(*baseline).also(*omega).run_many(g, algo);
+    let o = reports.pop().expect("two machines yield two reports");
+    let b = reports.pop().expect("two machines yield two reports");
+    (b, o)
 }
 
 #[cfg(test)]
@@ -301,6 +439,54 @@ mod tests {
         let a = run(&g, Algo::Cc, &cfg);
         let b = run(&g, Algo::Cc, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builder_matches_the_free_functions() {
+        let g = Dataset::Sd.build(DatasetScale::Tiny).unwrap();
+        let algo = Algo::PageRank { iters: 1 };
+        let cfg = RunConfig::new(SystemConfig::mini_omega());
+        assert_eq!(
+            Runner::new(cfg.system).exec(cfg.exec).run(&g, algo),
+            run(&g, algo, &cfg)
+        );
+        let (b, o) = run_pair(
+            &g,
+            algo,
+            &SystemConfig::mini_baseline(),
+            &SystemConfig::mini_omega(),
+        );
+        let many = Runner::new(SystemConfig::mini_baseline())
+            .also(SystemConfig::mini_omega())
+            .run_many(&g, algo);
+        assert_eq!(many, vec![b, o]);
+    }
+
+    #[test]
+    fn builder_applies_telemetry_and_chunk_overrides() {
+        let g = Dataset::Sd.build(DatasetScale::Tiny).unwrap();
+        let runner = Runner::new(SystemConfig::mini_baseline())
+            .chunk_size(8)
+            .telemetry(omega_sim::telemetry::TelemetryConfig::windowed(4096));
+        assert_eq!(runner.resolved_exec().chunk_size, 8);
+        assert!(runner.resolved_systems()[0].machine.telemetry.enabled);
+        let r = runner.run(&g, Algo::PageRank { iters: 1 });
+        assert!(r.telemetry.is_some());
+    }
+
+    #[test]
+    fn run_many_shares_one_trace_and_counts_replays() {
+        let g = Dataset::Sd.build(DatasetScale::Tiny).unwrap();
+        let traces0 = functional_trace_count();
+        let replays0 = timing_replay_count();
+        let reports = Runner::new(SystemConfig::mini_baseline())
+            .also(SystemConfig::mini_omega())
+            .also(SystemConfig::mini_locked_cache())
+            .run_many(&g, Algo::Bfs { root: 0 }.with_default_root(&g));
+        assert_eq!(reports.len(), 3);
+        // Counters are process-global; other parallel tests can only add.
+        assert!(functional_trace_count() > traces0);
+        assert!(timing_replay_count() >= replays0 + 3);
     }
 
     #[test]

@@ -45,6 +45,16 @@ pub enum DatasetScale {
 }
 
 impl DatasetScale {
+    /// Stable lowercase identifier ("tiny" / "small" / "medium"), used in
+    /// CLI flags and experiment-store fingerprints.
+    pub fn code(self) -> &'static str {
+        match self {
+            DatasetScale::Tiny => "tiny",
+            DatasetScale::Small => "small",
+            DatasetScale::Medium => "medium",
+        }
+    }
+
     /// Log2 reduction applied to the R-MAT scale exponent relative to
     /// [`DatasetScale::Small`].
     fn shift(self) -> u32 {

@@ -165,6 +165,55 @@ impl MachineConfig {
     }
 }
 
+impl crate::fingerprint::Canonicalize for CacheConfig {
+    fn canonicalize(&self, h: &mut crate::fingerprint::Fnv64) {
+        h.write_u64(self.capacity);
+        h.write_u32(self.ways);
+        h.write_u32(self.latency);
+    }
+}
+
+impl crate::fingerprint::Canonicalize for CoreConfig {
+    fn canonicalize(&self, h: &mut crate::fingerprint::Fnv64) {
+        h.write_usize(self.n_cores);
+        h.write_usize(self.max_outstanding);
+        h.write_u32(self.issue_cost_x100);
+    }
+}
+
+impl crate::fingerprint::Canonicalize for NocConfig {
+    fn canonicalize(&self, h: &mut crate::fingerprint::Fnv64) {
+        h.write_u32(self.latency);
+        h.write_u32(self.bytes_per_cycle);
+        h.write_u32(self.header_bytes);
+    }
+}
+
+impl crate::fingerprint::Canonicalize for DramConfig {
+    fn canonicalize(&self, h: &mut crate::fingerprint::Fnv64) {
+        h.write_usize(self.channels);
+        h.write_u32(self.latency);
+        h.write_f64(self.bytes_per_cycle);
+        h.write_u8(match self.default_mode {
+            crate::dram::RowMode::OpenPage => 0,
+            crate::dram::RowMode::ClosePage => 1,
+        });
+    }
+}
+
+impl crate::fingerprint::Canonicalize for MachineConfig {
+    fn canonicalize(&self, h: &mut crate::fingerprint::Fnv64) {
+        self.core.canonicalize(h);
+        self.l1.canonicalize(h);
+        self.l2.canonicalize(h);
+        self.noc.canonicalize(h);
+        self.dram.canonicalize(h);
+        h.write_u32(self.atomic_overhead);
+        h.write_u32(self.atomic_handoff);
+        self.telemetry.canonicalize(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +264,34 @@ mod tests {
         let c = MachineConfig::mini_baseline();
         assert_eq!(c.l2_bank_of(0x1000), c.l2_bank_of(0x103F));
         assert_ne!(c.l2_bank_of(0x1000), c.l2_bank_of(0x1040));
+    }
+
+    #[test]
+    fn canonicalisation_is_stable_and_field_sensitive() {
+        use crate::fingerprint::{Canonicalize, Fnv64};
+        let digest = |c: &MachineConfig| {
+            let mut h = Fnv64::new();
+            c.canonicalize(&mut h);
+            h.finish()
+        };
+        let base = MachineConfig::mini_baseline();
+        assert_eq!(digest(&base), digest(&base.clone()));
+        assert_ne!(digest(&base), digest(&MachineConfig::paper_baseline()));
+        // Every class of field perturbs the digest.
+        let mut m = base;
+        m.l1.ways += 1;
+        assert_ne!(digest(&base), digest(&m));
+        let mut m = base;
+        m.dram.bytes_per_cycle += 0.1;
+        assert_ne!(digest(&base), digest(&m));
+        let mut m = base;
+        m.dram.default_mode = crate::dram::RowMode::OpenPage;
+        assert_ne!(digest(&base), digest(&m));
+        let mut m = base;
+        m.atomic_handoff += 1;
+        assert_ne!(digest(&base), digest(&m));
+        let mut m = base;
+        m.telemetry = crate::telemetry::TelemetryConfig::windowed(4096);
+        assert_ne!(digest(&base), digest(&m));
     }
 }

@@ -1,0 +1,161 @@
+//! Canonical configuration fingerprinting for the persistent result store.
+//!
+//! The experiment store in `omega-bench` keys each report by a hash over
+//! everything that determines the simulation outcome: the dataset and its
+//! scale, the algorithm, the complete [`crate::MachineConfig`] (plus the
+//! OMEGA extension living in `omega-core`), and the framework execution
+//! parameters. Any field change must change the key — a stale entry served
+//! for a different configuration would silently corrupt figures — so
+//! hashing goes through an explicit, canonical serialisation rather than
+//! `#[derive(Hash)]`:
+//!
+//! * every scalar is written in a fixed width and order (little-endian),
+//! * strings are length-prefixed,
+//! * enum variants and `Option`s write an explicit discriminant byte,
+//! * floats are hashed by their IEEE-754 bit pattern.
+//!
+//! The hash itself is 64-bit FNV-1a: tiny, dependency-free, and stable
+//! across platforms and Rust versions (unlike `DefaultHasher`, whose
+//! algorithm is explicitly unspecified). FNV is not collision-resistant
+//! against adversaries, but store keys come from a handful of trusted
+//! configuration structs, not attacker-controlled input.
+
+/// Incremental 64-bit FNV-1a hasher over a canonical byte stream.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64 {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Hashes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, b: u8) {
+        self.state ^= b as u64;
+        self.state = self.state.wrapping_mul(Self::PRIME);
+    }
+
+    /// Hashes a raw byte slice (no length prefix; use [`Fnv64::write_str`]
+    /// or [`Fnv64::write_bytes`] for variable-length data).
+    #[inline]
+    pub fn write_raw(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Hashes a variable-length byte slice, length-prefixed so adjacent
+    /// fields cannot alias (`"ab" + "c"` ≠ `"a" + "bc"`).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        self.write_raw(bytes);
+    }
+
+    /// Hashes a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Hashes a `u32` in fixed-width little-endian form.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_raw(&v.to_le_bytes());
+    }
+
+    /// Hashes a `u64` in fixed-width little-endian form.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_raw(&v.to_le_bytes());
+    }
+
+    /// Hashes a `usize` widened to 64 bits so 32- and 64-bit hosts agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Hashes a boolean as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// Hashes a float by its IEEE-754 bit pattern (distinguishes `-0.0`
+    /// from `0.0`; deliberate, as canonicalisation must be injective).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The digest over everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Writes a value's complete, semantically relevant state into a canonical
+/// hash stream. Implementations must cover every field that can change
+/// simulation results, and must prefix enum variants with a discriminant.
+pub trait Canonicalize {
+    /// Feeds this value's canonical form into `h`.
+    fn canonicalize(&self, h: &mut Fnv64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_fnv1a_vectors() {
+        // Reference digests for the classic FNV-1a test strings.
+        let digest = |s: &str| {
+            let mut h = Fnv64::new();
+            h.write_raw(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(digest(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_prevents_field_aliasing() {
+        let mut a = Fnv64::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn scalar_widths_are_fixed() {
+        // The same numeric value hashed at different widths yields byte
+        // streams of different lengths, hence different digests.
+        let mut a = Fnv64::new();
+        a.write_u32(7);
+        let mut b = Fnv64::new();
+        b.write_u64(7);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn float_bit_patterns_distinguish_signed_zero() {
+        let mut a = Fnv64::new();
+        a.write_f64(0.0);
+        let mut b = Fnv64::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

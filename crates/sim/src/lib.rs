@@ -53,6 +53,7 @@ pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod engine;
+pub mod fingerprint;
 pub mod hierarchy;
 pub mod mem;
 pub mod noc;
@@ -61,6 +62,7 @@ pub mod telemetry;
 
 pub use config::{CacheConfig, CoreConfig, DramConfig, MachineConfig, NocConfig};
 pub use engine::{EngineReport, OpSource, Trace, VecOpSource};
+pub use fingerprint::{Canonicalize, Fnv64};
 pub use mem::{AccessKind, AccessOutcome, AtomicKind, Blocking, CoreOp, MemAccess, MemorySystem};
 pub use telemetry::{TelemetryConfig, TelemetryReport};
 

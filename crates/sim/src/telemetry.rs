@@ -60,6 +60,17 @@ impl Default for TelemetryConfig {
     }
 }
 
+impl crate::fingerprint::Canonicalize for TelemetryConfig {
+    fn canonicalize(&self, h: &mut crate::fingerprint::Fnv64) {
+        h.write_bool(self.enabled);
+        // The window only matters when sampling is on: disabled configs
+        // hash identically regardless of their (unused) window length.
+        if self.enabled {
+            h.write_u64(self.window_cycles);
+        }
+    }
+}
+
 /// Number of histogram buckets: one for zero plus one per power of two.
 const N_BUCKETS: usize = 65;
 
@@ -217,6 +228,48 @@ impl LatencyHistogram {
                 let (lo, hi) = Self::bucket_bounds(i);
                 (lo, hi, n)
             })
+    }
+
+    /// The populated buckets as `(bucket index, count)` pairs, in ascending
+    /// index order — the lossless counterpart of
+    /// [`LatencyHistogram::nonzero_buckets`], paired with
+    /// [`LatencyHistogram::from_raw`] for persistence.
+    pub fn raw_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+    }
+
+    /// Rebuilds a histogram from state previously exported via
+    /// [`LatencyHistogram::raw_buckets`] plus the exact `sum`, `min`, and
+    /// `max`. Returns `None` when the parts are structurally inconsistent
+    /// (out-of-range bucket index, non-empty buckets with `min > max`, or
+    /// extrema landing outside their claimed buckets) — the store treats
+    /// that as corruption and recomputes.
+    pub fn from_raw(buckets: &[(usize, u64)], sum: u128, min: u64, max: u64) -> Option<Self> {
+        let mut h = LatencyHistogram::new();
+        for &(i, n) in buckets {
+            if i >= N_BUCKETS || n == 0 {
+                return None;
+            }
+            h.buckets[i] = h.buckets[i].checked_add(n)?;
+            h.count = h.count.checked_add(n)?;
+        }
+        if h.count == 0 {
+            return (sum == 0 && min == u64::MAX && max == 0).then_some(h);
+        }
+        if min > max
+            || h.buckets[Self::bucket_index(min)] == 0
+            || h.buckets[Self::bucket_index(max)] == 0
+        {
+            return None;
+        }
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        Some(h)
     }
 }
 
@@ -498,6 +551,64 @@ mod tests {
         s.tick(100, &stats(10, 0, 0));
         s.flush(150, &stats(10, 0, 0));
         assert_eq!(s.samples().len(), 1);
+    }
+
+    #[test]
+    fn raw_buckets_round_trip_exactly() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 7, 63, 64, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let raw: Vec<(usize, u64)> = h.raw_buckets().collect();
+        let back =
+            LatencyHistogram::from_raw(&raw, h.sum(), h.min().unwrap(), h.max().unwrap()).unwrap();
+        assert_eq!(back, h);
+        // Empty histograms round-trip too.
+        let empty = LatencyHistogram::new();
+        assert_eq!(
+            LatencyHistogram::from_raw(&[], 0, u64::MAX, 0).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn from_raw_rejects_inconsistent_state() {
+        // Out-of-range bucket index.
+        assert!(LatencyHistogram::from_raw(&[(65, 1)], 1, 1, 1).is_none());
+        // Zero count in a listed bucket.
+        assert!(LatencyHistogram::from_raw(&[(1, 0)], 0, u64::MAX, 0).is_none());
+        // min > max.
+        assert!(LatencyHistogram::from_raw(&[(1, 2)], 3, 2, 1).is_none());
+        // Extremum outside its claimed bucket: min=1000 lands in bucket 10,
+        // but only bucket 1 is populated.
+        assert!(LatencyHistogram::from_raw(&[(1, 2)], 2000, 1000, 1000).is_none());
+        // Non-empty parts but empty bucket list.
+        assert!(LatencyHistogram::from_raw(&[], 5, 1, 4).is_none());
+    }
+
+    #[test]
+    fn config_canonicalisation_ignores_window_only_when_off() {
+        use crate::fingerprint::{Canonicalize, Fnv64};
+        let digest = |c: TelemetryConfig| {
+            let mut h = Fnv64::new();
+            c.canonicalize(&mut h);
+            h.finish()
+        };
+        assert_eq!(
+            digest(TelemetryConfig::off()),
+            digest(TelemetryConfig {
+                enabled: false,
+                window_cycles: 123,
+            })
+        );
+        assert_ne!(
+            digest(TelemetryConfig::windowed(1024)),
+            digest(TelemetryConfig::windowed(2048))
+        );
+        assert_ne!(
+            digest(TelemetryConfig::off()),
+            digest(TelemetryConfig::windowed(TelemetryConfig::DEFAULT_WINDOW))
+        );
     }
 
     #[test]

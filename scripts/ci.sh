@@ -18,4 +18,25 @@ cargo run --release -q -p omega-bench --bin stats -- \
   --out target/telemetry-sample.json
 echo "ci: wrote target/validate-report.json and target/telemetry-sample.json"
 
+# Warm-store determinism gate: a second figure sweep against the same store
+# must be byte-identical on stdout and perform zero functional traces and
+# zero timing replays (everything served from the content-addressed cache).
+store_dir=$(mktemp -d)
+trap 'rm -rf "$store_dir"' EXIT
+./target/release/figures all --tiny --store "$store_dir/store" \
+  > target/figures-cold.txt 2> target/figures-cold.err
+./target/release/figures all --tiny --store "$store_dir/store" \
+  > target/figures-warm.txt 2> target/figures-warm.err
+cmp target/figures-cold.txt target/figures-warm.txt
+warm_line=$(grep '^\[store\]' target/figures-warm.err)
+echo "ci: warm sweep $warm_line"
+case "$warm_line" in
+  *"traces=0"*"replays=0"*) ;;
+  *) echo "ci: warm sweep re-simulated (expected traces=0 replays=0)" >&2
+     exit 1 ;;
+esac
+./target/release/stats store verify "$store_dir/store" \
+  > target/store-verify.json
+echo "ci: wrote target/figures-{cold,warm}.txt and target/store-verify.json"
+
 echo "ci: all checks passed"
