@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod json;
 pub mod microbench;
 pub mod report_json;
@@ -19,6 +20,7 @@ pub mod session;
 pub mod store;
 pub mod table;
 
+pub use audit::{FuzzCase, FuzzOutcome, Fuzzer};
 pub use json::Json;
 pub use report_json::run_report_to_json;
 pub use session::{ExperimentSpec, MachineKind, Session};

@@ -63,6 +63,8 @@ fn mem_to_json(m: &MemStats, total_cycles: u64, system: &SystemConfig) -> Json {
     dram.set("busy_cycles", num(m.dram.busy_cycles));
     dram.set("queue_cycles", num(m.dram.queue_cycles));
     dram.set("row_hits", num(m.dram.row_hits));
+    dram.set("row_conflicts", num(m.dram.row_conflicts));
+    dram.set("row_opens", num(m.dram.row_opens));
     dram.set(
         "utilization",
         Json::Num(

@@ -88,6 +88,8 @@ fn mem_stats_to_json(m: &MemStats) -> Json {
     dram.set("busy_cycles", ju64(m.dram.busy_cycles));
     dram.set("queue_cycles", ju64(m.dram.queue_cycles));
     dram.set("row_hits", ju64(m.dram.row_hits));
+    dram.set("row_conflicts", ju64(m.dram.row_conflicts));
+    dram.set("row_opens", ju64(m.dram.row_opens));
     let mut atomics = Json::obj();
     atomics.set("executed", ju64(m.atomics.executed));
     atomics.set("lock_wait_cycles", ju64(m.atomics.lock_wait_cycles));
@@ -133,6 +135,8 @@ fn mem_stats_from_json(v: &Json) -> Result<MemStats, String> {
             busy_cycles: fu64(dram, "busy_cycles")?,
             queue_cycles: fu64(dram, "queue_cycles")?,
             row_hits: fu64(dram, "row_hits")?,
+            row_conflicts: fu64(dram, "row_conflicts")?,
+            row_opens: fu64(dram, "row_opens")?,
         },
         atomics: AtomicStats {
             executed: fu64(atomics, "executed")?,

@@ -42,7 +42,7 @@ pub mod codec;
 /// every entry. Bump when the payload encoding or the fingerprinted field
 /// set changes — old entries then become unreachable (and `gc`-able)
 /// instead of being misread.
-pub const STORE_FORMAT_VERSION: u32 = 1;
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
 /// Schema identifier embedded in every store entry file.
 pub const STORE_ENTRY_SCHEMA: &str = "omega-store-entry/v1";

@@ -29,6 +29,7 @@ use crate::layout::Layout;
 use crate::pisc::PiscEngine;
 use crate::svbuffer::SourceVertexBuffer;
 use omega_ligra::trace::TraceMeta;
+use omega_sim::audit::{self, AuditReport};
 use omega_sim::dram::RowMode;
 use omega_sim::hierarchy::CacheHierarchy;
 use omega_sim::stats::{AtomicStats, MemStats, ScratchpadStats};
@@ -418,6 +419,14 @@ impl MemorySystem for OmegaMemory {
             report.windows = s.into_samples();
         }
         Some(report)
+    }
+
+    fn audit_into(&self, out: &mut AuditReport) {
+        // Component ledgers of the shared fabric, then the cross-component
+        // checks over the *merged* stats: the scratchpad's word/PIM DRAM
+        // traffic and offloaded atomics only balance at this level.
+        self.inner.audit_components(out);
+        audit::check_mem_stats(&self.stats(), out);
     }
 }
 

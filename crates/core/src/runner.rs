@@ -20,6 +20,7 @@ use omega_graph::CsrGraph;
 use omega_ligra::algorithms::Algo;
 use omega_ligra::trace::{CollectingTracer, RawTrace, TraceMeta};
 use omega_ligra::{Ctx, ExecConfig};
+use omega_sim::audit::{self, AuditReport};
 use omega_sim::fingerprint::{Canonicalize, Fnv64};
 use omega_sim::hierarchy::CacheHierarchy;
 use omega_sim::stats::MemStats;
@@ -125,6 +126,7 @@ pub struct Runner {
     exec: Option<ExecConfigSer>,
     chunk_size: Option<usize>,
     telemetry: Option<TelemetryConfig>,
+    audit: bool,
 }
 
 impl Runner {
@@ -137,6 +139,7 @@ impl Runner {
             exec: None,
             chunk_size: None,
             telemetry: None,
+            audit: false,
         }
     }
 
@@ -165,6 +168,16 @@ impl Runner {
     /// each machine's own `machine.telemetry` setting.
     pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Audit mode: every replay is followed by the model-conservation
+    /// audit ([`omega_sim::audit`]), and [`Runner::run_many`] panics with
+    /// the full violation report if any invariant fails. Use
+    /// [`Runner::run_many_audited`] to collect the report instead of
+    /// panicking.
+    pub fn audit(mut self, on: bool) -> Self {
+        self.audit = on;
         self
     }
 
@@ -201,12 +214,50 @@ impl Runner {
     /// Traces `algo` on `g` once and replays it on every target machine,
     /// returning one report per [`Runner::new`]/[`Runner::also`] machine in
     /// order.
+    ///
+    /// # Panics
+    ///
+    /// In [`Runner::audit`] mode, panics if any replay violates a model
+    /// conservation invariant.
     pub fn run_many(&self, g: &CsrGraph, algo: Algo) -> Vec<RunReport> {
+        if self.audit {
+            return self
+                .run_many_audited(g, algo)
+                .into_iter()
+                .map(|(report, audit)| {
+                    assert!(
+                        audit.is_clean(),
+                        "model audit failed for {} on {}:\n{audit}",
+                        report.algo,
+                        report.machine
+                    );
+                    report
+                })
+                .collect();
+        }
         let exec: ExecConfig = self.resolved_exec().into();
         let (checksum, raw, meta) = trace_algorithm(g, algo, &exec);
         self.resolved_systems()
             .iter()
             .map(|sys| replay_report(algo.name(), checksum, &raw, &meta, sys))
+            .collect()
+    }
+
+    /// Like [`Runner::run_many`], but runs the model-conservation audit
+    /// after each replay and returns the audit report alongside each run
+    /// report instead of panicking — the `audit` binary's collection path.
+    pub fn run_many_audited(&self, g: &CsrGraph, algo: Algo) -> Vec<(RunReport, AuditReport)> {
+        let exec: ExecConfig = self.resolved_exec().into();
+        let (checksum, raw, meta) = trace_algorithm(g, algo, &exec);
+        self.resolved_systems()
+            .iter()
+            .map(|sys| {
+                let (parts, audit) = replay_audited(&raw, &meta, sys);
+                (
+                    report_from_parts(algo.name(), checksum, &meta, sys, parts),
+                    audit,
+                )
+            })
             .collect()
     }
 
@@ -303,6 +354,36 @@ pub fn replay(
     meta: &TraceMeta,
     system: &SystemConfig,
 ) -> (EngineReport, MemStats, u32, Option<TelemetryReport>) {
+    replay_impl(raw, meta, system, None)
+}
+
+/// Like [`replay`], but runs the model-conservation audit alongside: each
+/// machine's internal ledgers are checked after the replay (before telemetry
+/// is consumed), then the engine report and telemetry are cross-checked
+/// against the memory stats. Violations are collected, not panicked on.
+pub fn replay_audited(
+    raw: &RawTrace,
+    meta: &TraceMeta,
+    system: &SystemConfig,
+) -> (
+    (EngineReport, MemStats, u32, Option<TelemetryReport>),
+    AuditReport,
+) {
+    let mut report = AuditReport::new();
+    let parts = replay_impl(raw, meta, system, Some(&mut report));
+    audit::check_engine(&parts.0, &mut report);
+    if let Some(telemetry) = &parts.3 {
+        audit::check_telemetry(&parts.1, telemetry, &mut report);
+    }
+    (parts, report)
+}
+
+fn replay_impl(
+    raw: &RawTrace,
+    meta: &TraceMeta,
+    system: &SystemConfig,
+    mut audit: Option<&mut AuditReport>,
+) -> (EngineReport, MemStats, u32, Option<TelemetryReport>) {
     TIMING_REPLAYS.fetch_add(1, Ordering::Relaxed);
     let layout = Layout::new(meta);
     if system.is_omega() {
@@ -310,6 +391,9 @@ pub fn replay(
         let hot = mem.hot_count();
         let mut stream = LoweringStream::new(raw, &layout, Target::Omega { hot_count: hot });
         let report = engine::run_source(&mut stream, &mut mem, &system.machine);
+        if let Some(out) = audit.as_deref_mut() {
+            mem.audit_into(out);
+        }
         let stats = mem.stats();
         let telemetry = mem.take_telemetry();
         (report, stats, hot, telemetry)
@@ -318,6 +402,9 @@ pub fn replay(
             crate::locked::locked_cache_memory(&system.machine, &layout, meta, budget);
         let mut stream = LoweringStream::new(raw, &layout, Target::Baseline);
         let report = engine::run_source(&mut stream, &mut mem, &system.machine);
+        if let Some(out) = audit.as_deref_mut() {
+            MemorySystem::audit_into(&mem, out);
+        }
         let stats = mem.stats();
         let telemetry = mem.take_telemetry();
         (report, stats, 0, telemetry)
@@ -325,6 +412,9 @@ pub fn replay(
         let mut mem = CacheHierarchy::new(&system.machine);
         let mut stream = LoweringStream::new(raw, &layout, Target::Baseline);
         let report = engine::run_source(&mut stream, &mut mem, &system.machine);
+        if let Some(out) = audit {
+            MemorySystem::audit_into(&mem, out);
+        }
         let stats = mem.stats();
         let telemetry = mem.take_telemetry();
         (report, stats, 0, telemetry)
@@ -341,7 +431,17 @@ pub fn replay_report(
     meta: &TraceMeta,
     system: &SystemConfig,
 ) -> RunReport {
-    let (engine_report, mem, hot, telemetry) = replay(raw, meta, system);
+    let parts = replay(raw, meta, system);
+    report_from_parts(algo_name, checksum, meta, system, parts)
+}
+
+fn report_from_parts(
+    algo_name: &str,
+    checksum: f64,
+    meta: &TraceMeta,
+    system: &SystemConfig,
+    (engine_report, mem, hot, telemetry): (EngineReport, MemStats, u32, Option<TelemetryReport>),
+) -> RunReport {
     RunReport {
         algo: algo_name.to_string(),
         machine: system.label().to_string(),
@@ -487,6 +587,28 @@ mod tests {
         // Counters are process-global; other parallel tests can only add.
         assert!(functional_trace_count() > traces0);
         assert!(timing_replay_count() >= replays0 + 3);
+    }
+
+    #[test]
+    fn audited_runs_are_clean_and_match_unaudited_reports() {
+        let g = Dataset::Sd.build(DatasetScale::Tiny).unwrap();
+        let algo = Algo::PageRank { iters: 1 };
+        let runner = Runner::new(SystemConfig::mini_baseline())
+            .also(SystemConfig::mini_omega())
+            .also(SystemConfig::mini_locked_cache())
+            .telemetry(omega_sim::telemetry::TelemetryConfig::windowed(4096));
+        let audited = runner.clone().audit(true).run_many(&g, algo);
+        let plain = runner.run_many(&g, algo);
+        assert_eq!(audited, plain, "auditing must not perturb the model");
+        for (report, audit) in Runner::new(SystemConfig::mini_omega()).run_many_audited(&g, algo) {
+            assert!(audit.checks_run() > 0);
+            assert!(
+                audit.is_clean(),
+                "{} on {}:\n{audit}",
+                report.algo,
+                report.machine
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! Model-conservation auditor.
+//!
+//! Every OMEGA claim is a *relative* memory-subsystem quantity — on-chip
+//! traffic (Fig. 17), DRAM bandwidth utilisation (Fig. 16), stall
+//! breakdowns — so silent accounting drift in the timing model corrupts
+//! every figure at once. This module is the correctness backbone the rest
+//! of the repository checks itself against:
+//!
+//! * [`AuditReport`] collects named invariant checks and their violations;
+//! * component models expose `audit_into` (see [`crate::noc::Crossbar`]
+//!   and [`crate::dram::DramModel`]) for checks that need live internal
+//!   ledgers (per-port busy cycles, per-channel occupancy);
+//! * [`check_engine`], [`check_mem_stats`], and [`check_telemetry`] verify
+//!   the end-of-run flow invariants that only need the public reports;
+//! * [`run_probes`] replays tiny deterministic traffic patterns through
+//!   fresh component models — these fail loudly if the accounting fixes
+//!   they pin (round-trip serialisation, laggard phantom queueing) ever
+//!   regress.
+//!
+//! The checks are exact equalities wherever the model guarantees one, and
+//! two-sided bounds where rounding makes equality unobservable from the
+//! outside (e.g. NoC busy cycles vs. bytes).
+
+use std::fmt;
+
+use crate::config::{DramConfig, NocConfig};
+use crate::dram::{DramModel, RowMode};
+use crate::engine::EngineReport;
+use crate::noc::Crossbar;
+use crate::stats::MemStats;
+use crate::telemetry::TelemetryReport;
+
+/// One failed invariant: which component, which conservation law, and the
+/// observed numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// Component the invariant belongs to (`noc`, `dram`, `engine`, …).
+    pub component: String,
+    /// Human-readable statement of the violated invariant.
+    pub invariant: String,
+    /// The observed quantities that broke it.
+    pub detail: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ({})",
+            self.component, self.invariant, self.detail
+        )
+    }
+}
+
+/// Accumulates invariant checks; retains every violation.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    checks: u64,
+    violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one invariant check. `detail` is only evaluated on failure.
+    pub fn check(
+        &mut self,
+        component: &str,
+        invariant: &str,
+        ok: bool,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.checks += 1;
+        if !ok {
+            self.violations.push(AuditViolation {
+                component: component.to_string(),
+                invariant: invariant.to_string(),
+                detail: detail(),
+            });
+        }
+    }
+
+    /// Number of checks performed (passed or failed).
+    pub fn checks_run(&self) -> u64 {
+        self.checks
+    }
+
+    /// The violations recorded so far.
+    pub fn violations(&self) -> &[AuditViolation] {
+        &self.violations
+    }
+
+    /// True when no check has failed.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Folds another report's checks and violations into this one.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.checks += other.checks;
+        self.violations.extend(other.violations);
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "audit clean ({} checks)", self.checks);
+        }
+        writeln!(
+            f,
+            "audit FAILED: {} of {} checks violated",
+            self.violations.len(),
+            self.checks
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks the engine's wall-time conservation: the five per-core stall
+/// buckets partition each core's finish time exactly, no core finishes
+/// after the reported total, and the total is exactly the latest finisher.
+pub fn check_engine(report: &EngineReport, out: &mut AuditReport) {
+    let mut latest = 0;
+    for (i, core) in report.per_core.iter().enumerate() {
+        latest = latest.max(core.finish_time);
+        out.check(
+            "engine",
+            "stall buckets partition wall time",
+            core.attributed_cycles() == core.finish_time,
+            || {
+                format!(
+                    "core {i}: attributed {} vs finish {}",
+                    core.attributed_cycles(),
+                    core.finish_time
+                )
+            },
+        );
+        out.check(
+            "engine",
+            "no core outlives the run",
+            core.finish_time <= report.total_cycles,
+            || {
+                format!(
+                    "core {i}: finish {} > total {}",
+                    core.finish_time, report.total_cycles
+                )
+            },
+        );
+    }
+    if !report.per_core.is_empty() {
+        out.check(
+            "engine",
+            "total_cycles is the latest finisher",
+            report.total_cycles == latest,
+            || format!("total {} vs latest finish {latest}", report.total_cycles),
+        );
+    }
+}
+
+/// Checks the cross-component flow conservation visible in the cumulative
+/// [`MemStats`]: cache fills must be matched by downstream traffic, every
+/// DRAM request must originate from an L2 miss, an L2 writeback, or one of
+/// OMEGA's direct word/PIM paths, and offloaded atomics cannot outnumber
+/// executed ones.
+pub fn check_mem_stats(stats: &MemStats, out: &mut AuditReport) {
+    out.check(
+        "hierarchy",
+        "every L1 miss becomes exactly one L2 access",
+        stats.l2.accesses() == stats.l1.misses,
+        || {
+            format!(
+                "l2 accesses {} vs l1 misses {}",
+                stats.l2.accesses(),
+                stats.l1.misses
+            )
+        },
+    );
+    let expected_dram = stats.l2.misses
+        + stats.l2.writebacks
+        + stats.scratchpad.word_dram_accesses
+        + stats.scratchpad.pim_ops;
+    out.check(
+        "dram",
+        "reads + writes == L2 misses + writebacks + word/PIM accesses",
+        stats.dram.accesses() == expected_dram,
+        || {
+            format!(
+                "dram accesses {} vs l2.misses {} + l2.writebacks {} + word {} + pim {}",
+                stats.dram.accesses(),
+                stats.l2.misses,
+                stats.l2.writebacks,
+                stats.scratchpad.word_dram_accesses,
+                stats.scratchpad.pim_ops
+            )
+        },
+    );
+    out.check(
+        "dram",
+        "row outcomes never outnumber accesses",
+        stats.dram.row_hits + stats.dram.row_conflicts + stats.dram.row_opens
+            <= stats.dram.accesses(),
+        || {
+            format!(
+                "hits {} + conflicts {} + opens {} > accesses {}",
+                stats.dram.row_hits,
+                stats.dram.row_conflicts,
+                stats.dram.row_opens,
+                stats.dram.accesses()
+            )
+        },
+    );
+    out.check(
+        "dram",
+        "busy channels imply transferred bytes",
+        (stats.dram.busy_cycles == 0) == (stats.dram.bytes == 0),
+        || {
+            format!(
+                "busy {} vs bytes {}",
+                stats.dram.busy_cycles, stats.dram.bytes
+            )
+        },
+    );
+    out.check(
+        "scratchpad",
+        "offloaded atomics never outnumber executed atomics",
+        stats.scratchpad.pisc_ops + stats.scratchpad.pim_ops <= stats.atomics.executed,
+        || {
+            format!(
+                "pisc {} + pim {} > executed {}",
+                stats.scratchpad.pisc_ops, stats.scratchpad.pim_ops, stats.atomics.executed
+            )
+        },
+    );
+}
+
+/// Checks that a run's telemetry is a lossless decomposition of its
+/// cumulative stats: one histogram sample per underlying event, histogram
+/// sums equal to the matching counters, and per-window deltas that merge
+/// back to the run totals under strictly increasing window ends.
+pub fn check_telemetry(stats: &MemStats, telemetry: &TelemetryReport, out: &mut AuditReport) {
+    out.check(
+        "telemetry",
+        "one NoC contention sample per packet",
+        telemetry.noc_contention.count() == stats.noc.packets,
+        || {
+            format!(
+                "{} samples vs {} packets",
+                telemetry.noc_contention.count(),
+                stats.noc.packets
+            )
+        },
+    );
+    out.check(
+        "telemetry",
+        "NoC contention histogram sums to contention_cycles",
+        telemetry.noc_contention.sum() == stats.noc.contention_cycles as u128,
+        || {
+            format!(
+                "histogram {} vs counter {}",
+                telemetry.noc_contention.sum(),
+                stats.noc.contention_cycles
+            )
+        },
+    );
+    out.check(
+        "telemetry",
+        "one DRAM queue sample per access",
+        telemetry.dram_queue.count() == stats.dram.accesses(),
+        || {
+            format!(
+                "{} samples vs {} accesses",
+                telemetry.dram_queue.count(),
+                stats.dram.accesses()
+            )
+        },
+    );
+    out.check(
+        "telemetry",
+        "DRAM queue histogram sums to queue_cycles",
+        telemetry.dram_queue.sum() == stats.dram.queue_cycles as u128,
+        || {
+            format!(
+                "histogram {} vs counter {}",
+                telemetry.dram_queue.sum(),
+                stats.dram.queue_cycles
+            )
+        },
+    );
+    out.check(
+        "telemetry",
+        "one miss-latency sample per L1 miss",
+        telemetry.miss_latency.count() == stats.l1.misses,
+        || {
+            format!(
+                "{} samples vs {} misses",
+                telemetry.miss_latency.count(),
+                stats.l1.misses
+            )
+        },
+    );
+    let mut recombined = MemStats::default();
+    let mut prev_end = 0;
+    let mut ends_increase = true;
+    for w in &telemetry.windows {
+        if w.end <= prev_end {
+            ends_increase = false;
+        }
+        prev_end = w.end;
+        recombined.merge(&w.delta);
+    }
+    out.check(
+        "telemetry",
+        "window end cycles strictly increase",
+        ends_increase,
+        || format!("{} windows", telemetry.windows.len()),
+    );
+    if !telemetry.windows.is_empty() {
+        out.check(
+            "telemetry",
+            "window deltas merge back to run totals",
+            recombined == *stats,
+            || format!("recombined {recombined:?} vs totals {stats:?}"),
+        );
+    }
+}
+
+fn probe_noc_config() -> NocConfig {
+    NocConfig {
+        latency: 8,
+        bytes_per_cycle: 16,
+        header_bytes: 8,
+    }
+}
+
+/// Replays round trips through a fresh crossbar and audits the result:
+/// fails if the response leg ever stops paying serialisation through the
+/// port accounting (the `packets`-vs-histogram and busy-vs-bytes checks
+/// both trip on that regression).
+pub fn probe_round_trip_accounting() -> AuditReport {
+    let mut out = AuditReport::new();
+    let mut x = Crossbar::new(probe_noc_config(), 2);
+    x.enable_telemetry();
+    for t in 0..8 {
+        x.round_trip(1, 8, 64, t * 3);
+    }
+    x.audit_into(&mut out);
+    out.check(
+        "noc",
+        "round-trip port busy covers both legs",
+        x.port_busy(1) == 8 * (1 + 5),
+        || format!("port busy {} vs expected {}", x.port_busy(1), 8 * (1 + 5)),
+    );
+    out
+}
+
+/// Sends a lagging packet into a pre-built future backlog and checks that
+/// neither its latency nor its contention stats are charged phantom
+/// queueing — the crossbar half of the laggard rule.
+pub fn probe_noc_laggard() -> AuditReport {
+    let mut out = AuditReport::new();
+    let mut x = Crossbar::new(probe_noc_config(), 1);
+    x.enable_telemetry();
+    for _ in 0..10 {
+        x.send(0, 56, 1_000_000);
+    }
+    let ahead = x.stats().contention_cycles;
+    let t = x.send(0, 56, 10);
+    out.check(
+        "noc",
+        "lagging sender's latency is uncontended",
+        t == 10 + 8 + 4,
+        || format!("latency {} vs expected {}", t - 10, 8 + 4),
+    );
+    out.check(
+        "noc",
+        "lagging sender is not charged phantom contention",
+        x.stats().contention_cycles == ahead,
+        || {
+            format!(
+                "contention grew {} -> {}",
+                ahead,
+                x.stats().contention_cycles
+            )
+        },
+    );
+    x.audit_into(&mut out);
+    out
+}
+
+/// The DRAM half of the laggard rule: a lagging requester sees a free
+/// channel (flat latency) and must not be charged the future backlog as
+/// queue cycles.
+pub fn probe_dram_laggard() -> AuditReport {
+    let mut out = AuditReport::new();
+    let mut d = DramModel::new(DramConfig {
+        channels: 2,
+        latency: 100,
+        bytes_per_cycle: 6.4,
+        default_mode: RowMode::ClosePage,
+    });
+    d.enable_telemetry();
+    for i in 0..10 {
+        d.access_line(i * 0x80, false, 1_000_000);
+    }
+    let queued = d.stats().queue_cycles;
+    let t = d.access_line(0x200, false, 10);
+    out.check(
+        "dram",
+        "lagging access pays flat latency",
+        t == 10 + 100 + 10,
+        || format!("completion {t} vs expected {}", 10 + 100 + 10),
+    );
+    out.check(
+        "dram",
+        "lagging access is not charged phantom queueing",
+        d.stats().queue_cycles == queued,
+        || format!("queue_cycles grew {} -> {}", queued, d.stats().queue_cycles),
+    );
+    d.audit_into(&mut out);
+    out
+}
+
+/// Runs every deterministic component probe and folds the results into one
+/// report. The `audit` binary runs this before touching any workload, so a
+/// reverted accounting fix fails CI even if no sweep happens to exercise
+/// the broken path.
+pub fn run_probes() -> AuditReport {
+    let mut out = probe_round_trip_accounting();
+    out.merge(probe_noc_laggard());
+    out.merge(probe_dram_laggard());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CoreReport;
+    use crate::stats::{CacheStats, DramStats};
+
+    #[test]
+    fn probes_are_clean_on_the_fixed_model() {
+        let r = run_probes();
+        assert!(r.is_clean(), "{r}");
+        assert!(r.checks_run() > 10);
+    }
+
+    #[test]
+    fn display_lists_violations() {
+        let mut r = AuditReport::new();
+        r.check("noc", "demo invariant", false, || "1 vs 2".into());
+        assert!(!r.is_clean());
+        let text = r.to_string();
+        assert!(text.contains("demo invariant"));
+        assert!(text.contains("1 vs 2"));
+    }
+
+    #[test]
+    fn check_engine_flags_unattributed_cycles() {
+        let report = EngineReport {
+            total_cycles: 100,
+            per_core: vec![CoreReport {
+                ops: 1,
+                compute_cycles: 10,
+                finish_time: 100,
+                ..Default::default()
+            }],
+        };
+        let mut out = AuditReport::new();
+        check_engine(&report, &mut out);
+        assert!(!out.is_clean(), "90 cycles vanished without attribution");
+    }
+
+    #[test]
+    fn check_mem_stats_flags_unmatched_dram_traffic() {
+        // The round-trip bug's signature at the stats level: traffic
+        // counted somewhere without a matching origin elsewhere.
+        let mut stats = MemStats {
+            l1: CacheStats {
+                misses: 4,
+                ..Default::default()
+            },
+            l2: CacheStats {
+                hits: 2,
+                misses: 2,
+                ..Default::default()
+            },
+            dram: DramStats {
+                reads: 5, // only 2 L2 misses can explain reads
+                bytes: 5 * 64,
+                busy_cycles: 50,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut out = AuditReport::new();
+        check_mem_stats(&stats, &mut out);
+        assert!(!out.is_clean());
+        stats.dram.reads = 2;
+        stats.dram.bytes = 2 * 64;
+        stats.dram.busy_cycles = 20;
+        let mut out = AuditReport::new();
+        check_mem_stats(&stats, &mut out);
+        assert!(out.is_clean(), "{out}");
+    }
+
+    #[test]
+    fn merge_accumulates_checks_and_violations() {
+        let mut a = AuditReport::new();
+        a.check("x", "ok", true, String::new);
+        let mut b = AuditReport::new();
+        b.check("y", "bad", false, || "d".into());
+        a.merge(b);
+        assert_eq!(a.checks_run(), 2);
+        assert_eq!(a.violations().len(), 1);
+    }
+}

@@ -7,6 +7,7 @@
 //! busy-cycle counter divided by elapsed time is the Fig. 16 "DRAM bandwidth
 //! utilisation" metric.
 
+use crate::audit::AuditReport;
 use crate::config::DramConfig;
 use crate::stats::DramStats;
 use crate::telemetry::LatencyHistogram;
@@ -64,6 +65,9 @@ pub struct DramModel {
     cfg: DramConfig,
     channel_backlog: Vec<u64>,
     channel_last: Vec<Cycle>,
+    // Conservation ledger: per-channel transfer occupancy. The auditor
+    // cross-checks its sum against the global `busy_cycles` counter.
+    channel_busy: Vec<u64>,
     open_row: Vec<Option<u64>>,
     stats: DramStats,
     // Per-access queue-delay histogram; None (no per-access cost beyond
@@ -77,6 +81,7 @@ impl DramModel {
         DramModel {
             channel_backlog: vec![0; cfg.channels],
             channel_last: vec![0; cfg.channels],
+            channel_busy: vec![0; cfg.channels],
             open_row: vec![None; cfg.channels],
             cfg,
             stats: DramStats::default(),
@@ -144,24 +149,36 @@ impl DramModel {
                     ROW_HIT_LATENCY as u64
                 }
                 Some(_) => {
+                    self.stats.row_conflicts += 1;
                     self.open_row[ch] = Some(row);
                     (self.cfg.latency + ROW_CONFLICT_EXTRA) as u64
                 }
                 None => {
+                    self.stats.row_opens += 1;
                     self.open_row[ch] = Some(row);
                     self.cfg.latency as u64
                 }
             },
         };
-        // Drain the backlog by the time elapsed since the last arrival.
-        let elapsed = now.saturating_sub(self.channel_last[ch]);
-        self.channel_last[ch] = now.max(self.channel_last[ch]);
-        let ahead = self.channel_backlog[ch].saturating_sub(elapsed);
-        self.channel_backlog[ch] = ahead + occupancy;
+        // Drain the backlog by the time elapsed since the last arrival. A
+        // lagging requester (now behind the channel's last arrival) lands
+        // in the channel's past: the backlog there is phantom from its
+        // point of view, so it neither waits behind it nor adds to it —
+        // the same rule the crossbar applies to lagging senders.
+        let last = self.channel_last[ch];
+        let ahead = if now < last {
+            0
+        } else {
+            let drained = self.channel_backlog[ch].saturating_sub(now - last);
+            self.channel_last[ch] = now;
+            self.channel_backlog[ch] = drained + occupancy;
+            drained
+        };
         self.stats.queue_cycles += ahead;
         if let Some(h) = self.queue_histogram.as_deref_mut() {
             h.record(ahead);
         }
+        self.channel_busy[ch] += occupancy;
         self.stats.busy_cycles += occupancy;
         self.stats.bytes += bytes as u64;
         if is_write {
@@ -169,6 +186,11 @@ impl DramModel {
         } else {
             self.stats.reads += 1;
         }
+        debug_assert_eq!(
+            self.channel_busy.iter().sum::<u64>(),
+            self.stats.busy_cycles,
+            "per-channel occupancy must reconcile with the busy counter"
+        );
         // Wait behind the queued work, then pay row access + transfer.
         now + ahead + latency + occupancy
     }
@@ -181,6 +203,59 @@ impl DramModel {
     /// The configuration in use.
     pub fn config(&self) -> DramConfig {
         self.cfg
+    }
+
+    /// Transfer occupancy accumulated on `channel`.
+    pub fn channel_busy(&self, channel: usize) -> u64 {
+        self.channel_busy[channel]
+    }
+
+    /// Checks the DRAM model's flow-conservation invariants into `out`:
+    /// `busy_cycles` equals the per-channel occupancy sum, every access is
+    /// a read or a write, the open-page row outcomes partition their
+    /// accesses, and (when telemetry is live) the queue histogram has one
+    /// sample per access summing to `queue_cycles`.
+    pub fn audit_into(&self, out: &mut AuditReport) {
+        let s = &self.stats;
+        let accesses = s.reads + s.writes;
+        let ledger: u64 = self.channel_busy.iter().sum();
+        out.check(
+            "dram",
+            "busy_cycles == sum of per-channel occupancy",
+            s.busy_cycles == ledger,
+            || format!("busy {} vs channel ledger {}", s.busy_cycles, ledger),
+        );
+        out.check(
+            "dram",
+            "every access occupies its channel at least one cycle",
+            s.busy_cycles >= accesses,
+            || format!("busy {} < {} accesses", s.busy_cycles, accesses),
+        );
+        out.check(
+            "dram",
+            "row outcomes never outnumber accesses",
+            s.row_hits + s.row_conflicts + s.row_opens <= accesses,
+            || {
+                format!(
+                    "hits {} + conflicts {} + opens {} > {} accesses",
+                    s.row_hits, s.row_conflicts, s.row_opens, accesses
+                )
+            },
+        );
+        if let Some(h) = self.queue_histogram.as_deref() {
+            out.check(
+                "dram",
+                "queue histogram has one sample per access",
+                h.count() == accesses,
+                || format!("{} samples, {} accesses", h.count(), accesses),
+            );
+            out.check(
+                "dram",
+                "queue histogram sums to queue_cycles",
+                h.sum() == s.queue_cycles as u128,
+                || format!("histogram sum {}, counter {}", h.sum(), s.queue_cycles),
+            );
+        }
     }
 }
 
@@ -257,6 +332,8 @@ mod tests {
         assert_eq!(first, 110);
         assert_eq!(second, 5000 + ROW_HIT_LATENCY as u64 + 10);
         assert_eq!(d.stats().row_hits, 1);
+        assert_eq!(d.stats().row_opens, 1, "the first access opened the row");
+        assert_eq!(d.stats().row_conflicts, 0);
     }
 
     #[test]
@@ -266,6 +343,13 @@ mod tests {
         // A different row on the same channel conflicts.
         let t = d.access(ROW_SPAN_BYTES * 2, 64, false, RowMode::OpenPage, 5000);
         assert_eq!(t, 5000 + (100 + ROW_CONFLICT_EXTRA) as u64 + 10);
+        assert_eq!(d.stats().row_conflicts, 1);
+        // Hit + conflict + open partition the open-page accesses exactly.
+        let s = d.stats();
+        assert_eq!(
+            s.row_hits + s.row_conflicts + s.row_opens,
+            s.reads + s.writes
+        );
     }
 
     #[test]
@@ -274,6 +358,10 @@ mod tests {
         d.access(0, 64, false, RowMode::ClosePage, 0);
         d.access(0x80, 64, false, RowMode::ClosePage, 5000);
         assert_eq!(d.stats().row_hits, 0);
+        // Close-page accesses track no row state at all: the denominator
+        // for row-locality ratios is the open-page population only.
+        assert_eq!(d.stats().row_conflicts, 0);
+        assert_eq!(d.stats().row_opens, 0);
     }
 
     #[test]
@@ -312,5 +400,48 @@ mod tests {
         let s = d.stats();
         assert_eq!(s.busy_cycles, 100);
         assert!((s.utilization(100, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lagging_access_stats_match_its_latency() {
+        let mut d = model();
+        d.enable_telemetry();
+        // Build a genuine backlog far in the future on channel 0.
+        for i in 0..10 {
+            d.access_line(i * 0x80, false, 1_000_000);
+        }
+        let q = d.stats().queue_cycles;
+        assert!(q > 0, "the pile-up itself must register queueing");
+        // A lagging requester sees a free channel: flat latency, and the
+        // stats agree — no phantom queue charge.
+        let t = d.access_line(0x200, false, 10);
+        assert_eq!(t, 10 + 100 + 10);
+        assert_eq!(
+            d.stats().queue_cycles,
+            q,
+            "a lagging access must not be charged the future backlog"
+        );
+        let s = d.stats();
+        let h = d.take_queue_histogram().unwrap();
+        assert_eq!(h.count(), s.reads + s.writes);
+        assert_eq!(h.sum(), s.queue_cycles as u128);
+    }
+
+    #[test]
+    fn audit_passes_on_mixed_traffic() {
+        let mut d = model();
+        d.enable_telemetry();
+        for i in 0..40u64 {
+            let mode = if i % 3 == 0 {
+                RowMode::OpenPage
+            } else {
+                RowMode::ClosePage
+            };
+            d.access(i * 0x50, 64, i % 2 == 0, mode, i * 7);
+        }
+        let mut report = AuditReport::default();
+        d.audit_into(&mut report);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(d.channel_busy(0) + d.channel_busy(1), d.stats().busy_cycles);
     }
 }

@@ -283,6 +283,11 @@ pub fn run_source<S: OpSource, M: MemorySystem>(
             core.drain_all();
             core.finished = true;
             core.report.finish_time = core.time;
+            debug_assert_eq!(
+                core.report.attributed_cycles(),
+                core.report.finish_time,
+                "core {i}: stall buckets must partition wall time at retirement"
+            );
             continue;
         };
         core.report.ops += 1;

@@ -18,6 +18,7 @@
 //!
 //! The L2 is inclusive: evicting an L2 victim back-invalidates L1 copies.
 
+use crate::audit::{self, AuditReport};
 use crate::cache::{CacheArray, LineState};
 use crate::config::MachineConfig;
 use crate::dram::DramModel;
@@ -201,6 +202,17 @@ impl CacheHierarchy {
     /// paper) that bypass the caches but share the same channels.
     pub fn dram_mut(&mut self) -> &mut DramModel {
         &mut self.dram
+    }
+
+    /// Audits the component-internal ledgers (crossbar ports, DRAM
+    /// channels) without the hierarchy-level cross-checks. An outer memory
+    /// system that shares these components (OMEGA's scratchpad fabric)
+    /// calls this and then runs [`audit::check_mem_stats`] over its *own*
+    /// merged stats — the inner hierarchy's stats alone would not balance
+    /// against traffic the outer machine injected directly.
+    pub fn audit_components(&self, out: &mut AuditReport) {
+        self.noc.audit_into(out);
+        self.dram.audit_into(out);
     }
 
     fn writeback_l1_victim(&mut self, core: usize, line: u64, now: Cycle) {
@@ -408,6 +420,7 @@ impl CacheHierarchy {
                     // End-to-end L1-miss service time (issue → line at core).
                     t.miss_latency.record(done.saturating_sub(now));
                 }
+                debug_assert!(done >= now, "a miss must not complete before it was issued");
                 done
             }
         }
@@ -465,6 +478,11 @@ impl MemorySystem for CacheHierarchy {
                 s.flush(now, &cumulative);
             }
         }
+    }
+
+    fn audit_into(&self, out: &mut AuditReport) {
+        self.audit_components(out);
+        audit::check_mem_stats(&self.stats(), out);
     }
 
     fn take_telemetry(&mut self) -> Option<TelemetryReport> {

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod cache;
 pub mod config;
 pub mod dram;
@@ -60,6 +61,7 @@ pub mod noc;
 pub mod stats;
 pub mod telemetry;
 
+pub use audit::{AuditReport, AuditViolation};
 pub use config::{CacheConfig, CoreConfig, DramConfig, MachineConfig, NocConfig};
 pub use engine::{EngineReport, OpSource, Trace, VecOpSource};
 pub use fingerprint::{Canonicalize, Fnv64};

@@ -166,6 +166,13 @@ pub trait MemorySystem {
     fn take_telemetry(&mut self) -> Option<crate::telemetry::TelemetryReport> {
         None
     }
+
+    /// Checks the machine's internal conservation invariants (live
+    /// component ledgers the public stats cannot express) into `out`.
+    /// Call after [`Self::finish`] but *before* [`Self::take_telemetry`],
+    /// which consumes the histograms some checks compare against. The
+    /// default is a no-op for machines without internal ledgers.
+    fn audit_into(&self, _out: &mut crate::audit::AuditReport) {}
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 //! pressure — the amount by which packet arrivals outpace each port's
 //! drain rate within the run.
 
+use crate::audit::AuditReport;
 use crate::config::NocConfig;
 use crate::stats::NocStats;
 use crate::telemetry::LatencyHistogram;
@@ -45,6 +46,10 @@ pub struct Crossbar {
     port_last_arrival: Vec<Cycle>,
     port_backlog: Vec<u64>,
     stats: NocStats,
+    // Conservation ledger: packets that paid serialisation through
+    // `account()`. The auditor cross-checks it against `stats.packets`
+    // to catch legs that bump traffic counters without occupying a port.
+    accounted_packets: u64,
     // Per-packet contention histogram; None (one branch per packet)
     // unless telemetry is enabled.
     contention_histogram: Option<Box<LatencyHistogram>>,
@@ -59,6 +64,7 @@ impl Crossbar {
             port_last_arrival: vec![0; ports],
             port_backlog: vec![0; ports],
             stats: NocStats::default(),
+            accounted_packets: 0,
             contention_histogram: None,
         }
     }
@@ -87,18 +93,29 @@ impl Crossbar {
     /// drained backlog so sustained oversubscription shows up as
     /// contention, without hard cross-core reservations.
     fn account(&mut self, dst: usize, ser: u64, at: Cycle) {
-        // Drain the backlog by the time elapsed since the last arrival.
-        let elapsed = at.saturating_sub(self.port_last_arrival[dst]);
-        self.port_last_arrival[dst] = at.max(self.port_last_arrival[dst]);
-        let backlog = self.port_backlog[dst].saturating_sub(elapsed) + ser;
-        // Anything above one packet's worth of in-flight work is queueing.
-        let contention = backlog.saturating_sub(ser);
+        let last = self.port_last_arrival[dst];
+        let contention = if at < last {
+            // A lagging sender lands in the port's past: the latency model
+            // gives it the port immediately (see
+            // `lagging_sender_is_not_charged_phantom_queueing`), so the
+            // stats must not charge it the outstanding future backlog
+            // either, and its serialisation is already drained by `last`.
+            0
+        } else {
+            // Drain the backlog by the time elapsed since the last
+            // arrival; whatever survives is genuine queueing ahead of
+            // this packet.
+            let drained = self.port_backlog[dst].saturating_sub(at - last);
+            self.port_last_arrival[dst] = at;
+            self.port_backlog[dst] = drained + ser;
+            drained
+        };
         self.stats.contention_cycles += contention;
         if let Some(h) = self.contention_histogram.as_deref_mut() {
             h.record(contention);
         }
-        self.port_backlog[dst] = backlog;
         self.port_busy_cycles[dst] += ser;
+        self.accounted_packets += 1;
     }
 
     /// Sends `payload_bytes` to `dst`; returns the arrival cycle
@@ -113,11 +130,21 @@ impl Crossbar {
         self.account(dst, ser, arrive);
         self.stats.packets += 1;
         self.stats.bytes += (payload_bytes + self.cfg.header_bytes) as u64;
+        debug_assert_eq!(
+            self.accounted_packets, self.stats.packets,
+            "every counted packet must pay serialisation through account()"
+        );
         arrive
     }
 
     /// A round trip: a small request to `dst` followed by a
     /// `response_bytes` reply. Returns the cycle the response arrives back.
+    ///
+    /// Both legs go through [`Self::send`]: the response serialises on the
+    /// crossbar like any other packet, so busy cycles, contention, and the
+    /// telemetry histogram stay consistent with `packets`/`bytes`. (The
+    /// reply is charged to `dst`'s port pair — the crossbar does not track
+    /// the requester's port.)
     pub fn round_trip(
         &mut self,
         dst: usize,
@@ -126,10 +153,7 @@ impl Crossbar {
         now: Cycle,
     ) -> Cycle {
         let req_done = self.send(dst, request_bytes, now);
-        let ser = self.serialisation(response_bytes);
-        self.stats.packets += 1;
-        self.stats.bytes += (response_bytes + self.cfg.header_bytes) as u64;
-        req_done + self.cfg.latency as u64 + ser
+        self.send(dst, response_bytes, req_done)
     }
 
     /// Traffic statistics so far.
@@ -145,6 +169,73 @@ impl Crossbar {
     /// Number of destination ports.
     pub fn ports(&self) -> usize {
         self.port_busy_cycles.len()
+    }
+
+    /// Checks the crossbar's flow-conservation invariants into `out`:
+    /// every counted packet went through `account()`, per-port busy cycles
+    /// bound the byte count under the configured bandwidth, and (when
+    /// telemetry is live) the contention histogram has one sample per
+    /// packet summing to `contention_cycles`.
+    pub fn audit_into(&self, out: &mut AuditReport) {
+        out.check(
+            "noc",
+            "accounted_packets == packets",
+            self.accounted_packets == self.stats.packets,
+            || {
+                format!(
+                    "{} packets paid serialisation, {} counted",
+                    self.accounted_packets, self.stats.packets
+                )
+            },
+        );
+        let busy: u64 = self.port_busy_cycles.iter().sum();
+        let bpc = self.cfg.bytes_per_cycle as u64;
+        // Σ ceil(bytes_i/bpc) ≥ ceil(Σ bytes_i / bpc): missing legs (bytes
+        // counted without serialisation) break the lower bound.
+        out.check(
+            "noc",
+            "port busy cycles cover the byte count",
+            busy >= self.stats.bytes.div_ceil(bpc),
+            || {
+                format!(
+                    "busy {} < ceil({} B / {} B/cyc)",
+                    busy, self.stats.bytes, bpc
+                )
+            },
+        );
+        // Each packet rounds up by < 1 cycle (plus the 1-cycle floor), so
+        // busy can exceed bytes/bpc by at most one cycle per packet.
+        out.check(
+            "noc",
+            "port busy cycles bounded by bytes + one cycle per packet",
+            busy <= self.stats.bytes / bpc + self.stats.packets,
+            || {
+                format!(
+                    "busy {} > {} B / {} B/cyc + {} packets",
+                    busy, self.stats.bytes, bpc, self.stats.packets
+                )
+            },
+        );
+        if let Some(h) = self.contention_histogram.as_deref() {
+            out.check(
+                "noc",
+                "contention histogram has one sample per packet",
+                h.count() == self.stats.packets,
+                || format!("{} samples, {} packets", h.count(), self.stats.packets),
+            );
+            out.check(
+                "noc",
+                "contention histogram sums to contention_cycles",
+                h.sum() == self.stats.contention_cycles as u128,
+                || {
+                    format!(
+                        "histogram sum {}, counter {}",
+                        h.sum(),
+                        self.stats.contention_cycles
+                    )
+                },
+            );
+        }
     }
 }
 
@@ -189,10 +280,17 @@ mod tests {
     #[test]
     fn round_trip_counts_two_packets() {
         let mut x = Crossbar::new(cfg(), 2);
+        x.enable_telemetry();
         let t = x.round_trip(1, 8, 64, 10);
         assert_eq!(x.stats().packets, 2);
         // 8+8=16B req → 1 cycle; 64+8=72 → 5 cycles resp.
         assert_eq!(t, 10 + 8 + 1 + 8 + 5);
+        // The response leg pays serialisation like the request: the port
+        // is busy for both legs and the histogram sees both packets.
+        assert_eq!(x.port_busy(1), 1 + 5);
+        assert_eq!(x.stats().bytes, 16 + 72);
+        let h = x.take_contention_histogram().unwrap();
+        assert_eq!(h.count(), 2);
     }
 
     #[test]
@@ -243,5 +341,44 @@ mod tests {
         x.send(0, 56, 1_000_000);
         let t = x.send(0, 56, 10);
         assert_eq!(t, 10 + 8 + 4);
+    }
+
+    #[test]
+    fn lagging_sender_stats_match_its_latency() {
+        let mut x = Crossbar::new(cfg(), 1);
+        x.enable_telemetry();
+        // Pile up a genuine backlog far in the future: ten 4-cycle packets
+        // arriving on the same cycle.
+        for _ in 0..10 {
+            x.send(0, 56, 1_000_000);
+        }
+        let ahead = x.stats().contention_cycles;
+        assert!(ahead > 0, "the pile-up itself must register contention");
+        // The laggard's latency is uncontended, so its stats must be too.
+        let t = x.send(0, 56, 10);
+        assert_eq!(t, 10 + 8 + 4);
+        assert_eq!(
+            x.stats().contention_cycles,
+            ahead,
+            "a lagging sender must not be charged the future backlog"
+        );
+        // Still one histogram sample (a zero) per packet.
+        let s = x.stats();
+        let h = x.take_contention_histogram().unwrap();
+        assert_eq!(h.count(), s.packets);
+        assert_eq!(h.sum(), s.contention_cycles as u128);
+    }
+
+    #[test]
+    fn audit_passes_on_mixed_traffic() {
+        let mut x = Crossbar::new(cfg(), 4);
+        x.enable_telemetry();
+        for t in 0..50 {
+            x.send((t % 4) as usize, 56, t);
+            x.round_trip(((t + 1) % 4) as usize, 8, 64, t);
+        }
+        let mut report = AuditReport::default();
+        x.audit_into(&mut report);
+        assert!(report.is_clean(), "{report}");
     }
 }

@@ -100,6 +100,14 @@ pub struct DramStats {
     /// Open-page row-buffer hits (zero under the default close-page
     /// policy; populated by the §IX hybrid-policy extension).
     pub row_hits: u64,
+    /// Open-page accesses that found a different row open and paid the
+    /// precharge. Hits + conflicts + opens partition the open-page
+    /// accesses, so Fig.-16-style row-locality ratios have an exact
+    /// denominator.
+    pub row_conflicts: u64,
+    /// Open-page accesses that activated a closed bank (first touch after
+    /// reset or after a close-page access precharged the row).
+    pub row_opens: u64,
 }
 
 impl DramStats {
@@ -129,6 +137,8 @@ impl DramStats {
         self.busy_cycles += other.busy_cycles;
         self.queue_cycles += other.queue_cycles;
         self.row_hits += other.row_hits;
+        self.row_conflicts += other.row_conflicts;
+        self.row_opens += other.row_opens;
     }
 
     /// Field-wise difference against an earlier snapshot (saturating).
@@ -140,7 +150,15 @@ impl DramStats {
             busy_cycles: self.busy_cycles.saturating_sub(earlier.busy_cycles),
             queue_cycles: self.queue_cycles.saturating_sub(earlier.queue_cycles),
             row_hits: self.row_hits.saturating_sub(earlier.row_hits),
+            row_conflicts: self.row_conflicts.saturating_sub(earlier.row_conflicts),
+            row_opens: self.row_opens.saturating_sub(earlier.row_opens),
         }
+    }
+
+    /// Total requests (reads + writes) — the auditor's "accesses" side of
+    /// `reads + writes == accesses`.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
     }
 }
 
@@ -363,6 +381,9 @@ mod tests {
                 reads: 3,
                 bytes: 192,
                 busy_cycles: 30,
+                row_hits: 2,
+                row_conflicts: 1,
+                row_opens: 1,
                 ..Default::default()
             },
             noc: NocStats {

@@ -18,6 +18,13 @@ cargo run --release -q -p omega-bench --bin stats -- \
   --out target/telemetry-sample.json
 echo "ci: wrote target/validate-report.json and target/telemetry-sample.json"
 
+# Model-audit gate: conservation probes, the eight-machine sweep under the
+# invariant checker, and seeded differential config fuzzing. A fixed seed
+# keeps the fuzz stream reproducible; the JSON report is a CI artifact.
+cargo run --release -q -p omega-bench --bin audit -- \
+  --quick --seed 658711 --out target/audit-report.json
+echo "ci: wrote target/audit-report.json"
+
 # Warm-store determinism gate: a second figure sweep against the same store
 # must be byte-identical on stdout and perform zero functional traces and
 # zero timing replays (everything served from the content-addressed cache).

@@ -37,17 +37,30 @@ fn natural_graphs_speed_up_more_than_road_networks() {
     let usa = Dataset::Usa.build(DatasetScale::Tiny).unwrap();
     let (lb, lo) = run_pair(&lj, algo, &base_cfg, &omega_cfg);
     let (ub, uo) = run_pair(&usa, algo, &base_cfg, &omega_cfg);
-    let lj_speedup = lo.speedup_over(&lb);
-    let usa_speedup = uo.speedup_over(&ub);
     assert!(
-        lj_speedup > 1.0,
-        "OMEGA must win on a power-law graph, got {lj_speedup:.2}"
+        lo.speedup_over(&lb) > 1.0,
+        "OMEGA must win on a power-law graph, got {:.2}",
+        lo.speedup_over(&lb)
     );
-    // At tiny scale both graphs are largely resident; the ordering is the
-    // robust property (the paper's Fig. 18 crossover).
     assert!(
-        lj_speedup > 0.9 * usa_speedup,
-        "power-law speedup {lj_speedup:.2} vs road {usa_speedup:.2}"
+        uo.speedup_over(&ub) > 1.0,
+        "OMEGA must win on a road network too, got {:.2}",
+        uo.speedup_over(&ub)
+    );
+    // At tiny scale both graphs fit the standard scratchpads whole, so the
+    // paper's Fig. 18 crossover only shows under capacity pressure: with
+    // the scratchpads squeezed to ~6% the power-law graph keeps far more
+    // of its win than the road network.
+    let sp = omega_cfg.omega.unwrap().sp_bytes_per_core;
+    let constrained = omega_cfg.with_scratchpad_bytes(sp * 63 / 1000);
+    let (clb, clo) = run_pair(&lj, algo, &base_cfg, &constrained);
+    let (cub, cuo) = run_pair(&usa, algo, &base_cfg, &constrained);
+    let lj_constrained = clo.speedup_over(&clb);
+    let usa_constrained = cuo.speedup_over(&cub);
+    assert!(
+        lj_constrained > usa_constrained,
+        "capacity-constrained power-law speedup {lj_constrained:.2} must \
+         beat road {usa_constrained:.2}"
     );
 }
 
