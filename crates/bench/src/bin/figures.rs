@@ -1,11 +1,15 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! figures <id>... [--tiny|--medium] [--store PATH]
+//! figures <id>... [--tiny|--medium] [--store PATH] [--jobs N]
 //! ids: table1 table2 table3 table4 fig3 fig4a fig4b fig5 fig14 fig15
 //!      fig16 fig17 fig18 fig19 fig20 fig21 abl-pisc abl-chunk abl-svb
 //!      abl-reorder all
 //! ```
+//!
+//! `--jobs N` caps the total worker-thread budget (default: all cores);
+//! the session splits it between whole-experiment prefetch workers and
+//! intra-replay staging threads without oversubscribing.
 //!
 //! Each experiment prints the paper's reference value next to the measured
 //! one; EXPERIMENTS.md records a captured run.
@@ -61,6 +65,7 @@ fn main() {
     let mut tiny = false;
     let mut medium = false;
     let mut store_path: Option<String> = None;
+    let mut jobs: Option<usize> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -71,6 +76,13 @@ fn main() {
                 Some(p) => store_path = Some(p.clone()),
                 None => {
                     eprintln!("figures: --store needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--jobs" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => {
+                    eprintln!("figures: --jobs needs a positive integer");
                     std::process::exit(2);
                 }
             },
@@ -90,6 +102,9 @@ fn main() {
         DatasetScale::Small
     };
     let mut session = Session::new(scale);
+    if let Some(n) = jobs {
+        session = session.jobs(n);
+    }
     if let Some(path) = &store_path {
         session = session.with_store(path).unwrap_or_else(|e| {
             eprintln!("figures: cannot open store {path}: {e}");
@@ -1475,7 +1490,8 @@ fn telemetry(outer: &Session) {
     };
     let mut s = Session::new(outer.scale())
         .verbose(false)
-        .telemetry(TelemetryConfig::windowed(window));
+        .telemetry(TelemetryConfig::windowed(window))
+        .jobs(outer.effective_jobs());
     if let Some(store) = outer.store() {
         s = s.with_store(store.root()).unwrap_or_else(|e| {
             eprintln!(

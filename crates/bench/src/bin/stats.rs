@@ -35,8 +35,9 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   stats dump [--dataset CODE] [--algo NAME] [--machine KIND] \
-[--scale tiny|small|medium] [--window N] [--store PATH] [--out PATH]
+[--scale tiny|small|medium] [--window N] [--store PATH] [--jobs N] [--out PATH]
   stats diff A.json B.json
+  stats bench-diff OLD.json NEW.json   compare two BENCH_sim.json snapshots
   stats store ls PATH      list every entry of a persistent store
   stats store verify PATH  check fingerprints + checksums (JSON to stdout)
   stats store gc PATH      drop corrupt entries and leftover temp files
@@ -44,6 +45,7 @@ const USAGE: &str = "usage:
 dump defaults: --dataset sd --algo pagerank --machine baseline \
 --scale tiny --window 65536 (stdout)
 dump --store reuses/persists the run in a content-addressed store
+dump --jobs caps the replay worker threads (default: all cores)
 machines: baseline, omega, omega-nopisc, omega-nosvb, locked-cache
 algos: pagerank, bfs, sssp, bc, radii, cc, tc, kcore";
 
@@ -94,6 +96,7 @@ fn dump(args: &[String]) -> ExitCode {
     let mut window = TelemetryConfig::DEFAULT_WINDOW;
     let mut out: Option<String> = None;
     let mut store_path: Option<String> = None;
+    let mut jobs: Option<usize> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let Some(value) = it.next() else {
@@ -122,12 +125,19 @@ fn dump(args: &[String]) -> ExitCode {
             },
             "--out" => out = Some(value.clone()),
             "--store" => store_path = Some(value.clone()),
+            "--jobs" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => jobs = Some(n),
+                _ => return usage_error(&format!("bad jobs {value:?}")),
+            },
             _ => return usage_error(&format!("unknown flag {flag:?}")),
         }
     }
     let mut session = Session::new(scale)
         .verbose(false)
         .telemetry(TelemetryConfig::windowed(window));
+    if let Some(n) = jobs {
+        session = session.jobs(n);
+    }
     if let Some(path) = &store_path {
         session = match session.with_store(path) {
             Ok(s) => s,
@@ -350,6 +360,30 @@ fn diff(path_a: &str, path_b: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `stats bench-diff OLD NEW` — the CI perf-trajectory step: tabulate
+/// per-benchmark median and per-sweep wall-clock deltas between two
+/// `omega-bench-report/v1` snapshots. Informational: drift prints, it
+/// never fails the command.
+fn bench_diff(path_old: &str, path_new: &str) -> ExitCode {
+    use omega_bench::bench_report::{bench_delta_table, bench_report_from_json};
+    let parse = |path: &str| {
+        load(path).and_then(|j| bench_report_from_json(&j).map_err(|e| format!("{path}: {e}")))
+    };
+    let (old, new) = match (parse(path_old), parse(path_new)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("stats: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("perf trajectory: {path_old} -> {path_new}\n");
+    println!("{}", bench_delta_table(&old, &new).render());
+    if let Some(s) = new.sweep_speedup("figures_all_cold", 4) {
+        println!("parallel replay speedup at 4 jobs (new snapshot): {s:.2}x");
+    }
+    ExitCode::SUCCESS
+}
+
 fn fmt(v: f64) -> String {
     if v.fract() == 0.0 && v.abs() < 1e15 {
         format!("{v:.0}")
@@ -364,6 +398,8 @@ fn main() -> ExitCode {
         Some("dump") => dump(&args[1..]),
         Some("diff") if args.len() == 3 => diff(&args[1], &args[2]),
         Some("diff") => usage_error("diff takes exactly two report paths"),
+        Some("bench-diff") if args.len() == 3 => bench_diff(&args[1], &args[2]),
+        Some("bench-diff") => usage_error("bench-diff takes exactly two snapshot paths"),
         Some("store") => store_cmd(&args[1..]),
         _ => usage_error("expected a subcommand"),
     }

@@ -13,6 +13,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod audit;
+pub mod bench_report;
 pub mod json;
 pub mod microbench;
 pub mod report_json;
@@ -21,6 +22,10 @@ pub mod store;
 pub mod table;
 
 pub use audit::{FuzzCase, FuzzOutcome, Fuzzer};
+pub use bench_report::{
+    bench_delta_table, bench_report_from_json, bench_report_to_json, BenchReport, SweepMeasurement,
+    BENCH_REPORT_SCHEMA,
+};
 pub use json::Json;
 pub use report_json::run_report_to_json;
 pub use session::{ExperimentSpec, MachineKind, Session};

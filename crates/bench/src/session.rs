@@ -2,7 +2,7 @@
 
 use crate::store::ExperimentStore;
 use omega_core::config::SystemConfig;
-use omega_core::runner::{replay_report, trace_algorithm, RunConfig, RunReport, Runner};
+use omega_core::runner::{replay_report_parallel, trace_algorithm, RunConfig, RunReport, Runner};
 use omega_graph::datasets::{Dataset, DatasetScale};
 use omega_graph::CsrGraph;
 use omega_ligra::algorithms::Algo;
@@ -279,6 +279,7 @@ pub struct Session {
     verbose: bool,
     telemetry: TelemetryConfig,
     store: Option<ExperimentStore>,
+    jobs: Option<usize>,
 }
 
 impl Session {
@@ -292,7 +293,27 @@ impl Session {
             verbose: true,
             telemetry: TelemetryConfig::off(),
             store: None,
+            jobs: None,
         }
+    }
+
+    /// Caps the total worker-thread budget (the `--jobs N` flag). The
+    /// default is [`std::thread::available_parallelism`]. The budget is
+    /// split between whole-experiment workers and intra-replay staging
+    /// threads — see [`Session::prefetch`] — and never oversubscribed.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// The effective worker-thread budget: the [`Session::jobs`] override,
+    /// or [`std::thread::available_parallelism`].
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     }
 
     /// Sets whether progress lines are printed to stderr while running.
@@ -403,11 +424,17 @@ impl Session {
     /// experiments are grouped by `(dataset, algo)`: the functional
     /// (tracing) phase runs **once** per group and every requested
     /// [`MachineKind`] replays the shared trace through the streaming
-    /// lowering path. Groups execute on a worker pool bounded by
-    /// [`std::thread::available_parallelism`] — simulations are
-    /// deterministic and independent, so parallel execution changes nothing
-    /// but wall-clock time. Fresh results are persisted from the worker
-    /// threads (the store is `Sync`; writes are atomic).
+    /// lowering path. The [`Session::jobs`] budget is split without
+    /// oversubscription: `min(jobs, groups)` whole-experiment workers run
+    /// concurrently, and any leftover budget (`jobs / workers`, at least 1)
+    /// becomes intra-replay staging parallelism
+    /// ([`omega_core::runner::replay_report_parallel`]) inside each worker
+    /// — so `--jobs 4` over one group stages each replay across 4 threads,
+    /// while over many groups it runs 4 serial replays side by side.
+    /// Simulations are deterministic and independent, and the staged
+    /// engine is bit-identical to the serial one, so parallel execution
+    /// changes nothing but wall-clock time. Fresh results are persisted
+    /// from the worker threads (the store is `Sync`; writes are atomic).
     pub fn prefetch<S: Into<ExperimentSpec> + Copy>(&mut self, work: &[S]) {
         let candidates: Vec<ExperimentSpec> = {
             let mut seen = std::collections::HashSet::new();
@@ -443,10 +470,9 @@ impl Session {
         let telemetry = self.telemetry;
         let scale = self.scale;
         let store = self.store.as_ref();
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(groups.len());
+        let jobs = self.effective_jobs();
+        let workers = jobs.min(groups.len()).max(1);
+        let staging = (jobs / workers).max(1);
         let next_group = AtomicUsize::new(0);
         let results: Mutex<Vec<KeyedReport>> = Mutex::new(Vec::with_capacity(pending.len()));
         std::thread::scope(|scope| {
@@ -479,12 +505,13 @@ impl Session {
                         if verbose {
                             eprintln!("  [replay] {} on {} ({})", a.name(), d.code(), m.label());
                         }
-                        let report = replay_report(
+                        let report = replay_report_parallel(
                             algo.name(),
                             checksum,
                             &raw,
                             &meta,
                             &Self::system_for(telemetry, m),
+                            staging,
                         );
                         let spec = ExperimentSpec::new(*d, *a, m);
                         Self::persist(store, scale, telemetry, spec, &report);
@@ -519,7 +546,9 @@ impl Session {
                     g.num_arcs()
                 );
             }
-            let report = Runner::new(Self::system_for(self.telemetry, spec.machine)).run(&g, algo);
+            let report = Runner::new(Self::system_for(self.telemetry, spec.machine))
+                .parallelism(self.effective_jobs())
+                .run(&g, algo);
             Self::persist(
                 self.store.as_ref(),
                 self.scale,

@@ -1,0 +1,151 @@
+//! Golden parallel-vs-serial equivalence suite.
+//!
+//! The staged replay engine promises *bit identity* with the serial
+//! engine: parallelism may only change wall-clock time, never a single
+//! counter. These tests pin that promise end to end — engine reports,
+//! merged memory stats, telemetry windows and latency histograms, and the
+//! serialised run-report JSON — across workloads, machine kinds, and
+//! worker counts, plus the full fuzzer oracle battery running on the
+//! parallel engine.
+
+use omega_bench::report_json::run_report_to_json;
+use omega_bench::session::{AlgoKey, MachineKind, Session};
+use omega_bench::Fuzzer;
+use omega_core::config::SystemConfig;
+use omega_core::runner::{replay_parallel, replay_report_parallel, trace_algorithm};
+use omega_graph::datasets::{Dataset, DatasetScale};
+use omega_ligra::ExecConfig;
+use omega_sim::telemetry::TelemetryConfig;
+
+/// The acceptance matrix: PageRank / BFS / SSSP on baseline, OMEGA, and
+/// the locked-cache machine, with telemetry on so histogram identity is
+/// part of the contract.
+#[test]
+fn parallel_replay_is_bit_identical_across_workloads_and_machines() {
+    let g = Dataset::Sd.build(DatasetScale::Tiny).unwrap();
+    for algo_key in [AlgoKey::PageRank, AlgoKey::Bfs, AlgoKey::Sssp] {
+        let algo = algo_key.algo(&g);
+        for machine in [
+            MachineKind::Baseline,
+            MachineKind::Omega,
+            MachineKind::LockedCache,
+        ] {
+            let mut sys = machine.system();
+            sys.machine.telemetry = TelemetryConfig::windowed(1024);
+            let exec = ExecConfig {
+                n_cores: sys.machine.core.n_cores,
+                ..ExecConfig::default()
+            };
+            let (checksum, raw, meta) = trace_algorithm(&g, algo, &exec);
+            let serial = replay_parallel(&raw, &meta, &sys, 1);
+            let serial_doc =
+                run_report_to_json(&report_at(checksum, &raw, &meta, &sys, algo_key, 1), &sys)
+                    .dump();
+            for parallelism in [2usize, 4] {
+                let label = format!(
+                    "{}@{} parallelism={parallelism}",
+                    algo_key.name(),
+                    machine.label()
+                );
+                let par = replay_parallel(&raw, &meta, &sys, parallelism);
+                assert_eq!(par.0, serial.0, "engine report diverged: {label}");
+                assert_eq!(par.1, serial.1, "memory stats diverged: {label}");
+                assert_eq!(par.2, serial.2, "hot count diverged: {label}");
+                assert_eq!(par.3, serial.3, "telemetry diverged: {label}");
+                // The whole serialised document is byte-equal, so anything
+                // a report consumer can observe is covered.
+                let par_doc = run_report_to_json(
+                    &report_at(checksum, &raw, &meta, &sys, algo_key, parallelism),
+                    &sys,
+                )
+                .dump();
+                assert_eq!(par_doc, serial_doc, "report JSON diverged: {label}");
+            }
+        }
+    }
+}
+
+fn report_at(
+    checksum: f64,
+    raw: &omega_ligra::trace::RawTrace,
+    meta: &omega_ligra::trace::TraceMeta,
+    sys: &SystemConfig,
+    algo: AlgoKey,
+    parallelism: usize,
+) -> omega_core::runner::RunReport {
+    replay_report_parallel(algo.name(), checksum, raw, meta, sys, parallelism)
+}
+
+/// Every machine kind the repository simulates, serial vs staged.
+#[test]
+fn all_eight_machine_kinds_replay_identically_in_parallel() {
+    let machines = [
+        MachineKind::Baseline,
+        MachineKind::Omega,
+        MachineKind::OmegaScaledSp { permille: 250 },
+        MachineKind::OmegaNoPisc,
+        MachineKind::OmegaNoSvb,
+        MachineKind::OmegaChunkMismatch,
+        MachineKind::OmegaOffchip,
+        MachineKind::LockedCache,
+    ];
+    let g = Dataset::Sd.build(DatasetScale::Tiny).unwrap();
+    let algo = AlgoKey::PageRank.algo(&g);
+    let exec = ExecConfig {
+        n_cores: machines[0].system().machine.core.n_cores,
+        ..ExecConfig::default()
+    };
+    let (_, raw, meta) = trace_algorithm(&g, algo, &exec);
+    for machine in machines {
+        let sys = machine.system();
+        let serial = replay_parallel(&raw, &meta, &sys, 1);
+        let par = replay_parallel(&raw, &meta, &sys, 3);
+        assert_eq!(par, serial, "machine {} diverged", machine.label());
+    }
+}
+
+/// The session's replay paths (the `--jobs` surface) produce the same
+/// reports at any worker budget.
+#[test]
+fn session_reports_are_identical_at_any_jobs_setting() {
+    let work = [
+        (Dataset::Sd, AlgoKey::PageRank, MachineKind::Baseline),
+        (Dataset::Sd, AlgoKey::PageRank, MachineKind::Omega),
+        (Dataset::Ap, AlgoKey::Cc, MachineKind::Omega),
+    ];
+    let mut reference = Session::new(DatasetScale::Tiny).verbose(false).jobs(1);
+    reference.prefetch(&work);
+    for jobs in [2usize, 4] {
+        let mut s = Session::new(DatasetScale::Tiny).verbose(false).jobs(jobs);
+        s.prefetch(&work);
+        for spec in work {
+            assert_eq!(
+                s.report(spec).clone(),
+                reference.report(spec).clone(),
+                "jobs={jobs} diverged on {:?}",
+                spec
+            );
+        }
+    }
+}
+
+/// The full metamorphic oracle battery (conservation audit, determinism,
+/// telemetry transparency, merge/delta identity, monotone latency, codec
+/// round trip) holds with every replay running on the staged engine —
+/// the fuzzer-as-parallel-equivalence-check mode `audit --jobs N` uses.
+#[test]
+fn fuzzer_oracles_hold_on_the_parallel_engine() {
+    let outcome = Fuzzer::new(658711).parallelism(2).run(3);
+    assert_eq!(outcome.cases_run, 3);
+    assert!(outcome.checks_run > 0);
+    assert!(
+        outcome.is_clean(),
+        "{}",
+        outcome
+            .failures
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

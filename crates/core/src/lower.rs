@@ -11,7 +11,7 @@
 
 use crate::layout::Layout;
 use omega_ligra::trace::{RawTrace, TraceEvent};
-use omega_sim::{AccessKind, CoreOp, MemAccess, OpSource, Trace};
+use omega_sim::{AccessKind, CoreOp, CoreStream, MemAccess, OpSource, Trace};
 
 /// Which machine the trace is being lowered for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,84 +69,96 @@ impl<'a> LoweringStream<'a> {
     /// Lowers one event; `None` means the event is absorbed (produces no
     /// operation) and the caller should advance to the next event.
     fn lower_event(&mut self, core: usize, ev: TraceEvent) -> Option<CoreOp> {
-        let layout = self.layout;
-        match ev {
-            TraceEvent::Compute(x100) => Some(CoreOp::ComputeX100(x100)),
-            TraceEvent::PropRead { id, v } => Some(CoreOp::Access(MemAccess::read(
-                layout.prop_addr(id, v),
-                layout.prop_entry_bytes(id) as u8,
-            ))),
-            TraceEvent::PropReadSrc { id, v } => Some(CoreOp::Access(MemAccess {
-                addr: layout.prop_addr(id, v),
-                size: layout.prop_entry_bytes(id) as u8,
-                kind: AccessKind::ReadStable,
-            })),
-            TraceEvent::PropWrite { id, v } => Some(CoreOp::Access(MemAccess::write(
-                layout.prop_addr(id, v),
-                layout.prop_entry_bytes(id) as u8,
-            ))),
-            TraceEvent::PropAtomic { id, v, kind } => {
-                let access = if self.target == Target::BaselinePlainAtomics {
-                    MemAccess::write(layout.prop_addr(id, v), layout.prop_entry_bytes(id) as u8)
-                } else {
-                    MemAccess::atomic(
-                        layout.prop_addr(id, v),
-                        layout.prop_entry_bytes(id) as u8,
-                        kind,
-                    )
-                };
-                Some(CoreOp::Access(access))
-            }
-            TraceEvent::EdgeRead { arc } => Some(CoreOp::Access(MemAccess::read(
-                layout.edge_addr(arc),
-                layout.arc_bytes() as u8,
-            ))),
-            TraceEvent::FrontierRead { index, dense } => {
-                let addr = if dense {
-                    layout.dense_frontier_addr(index)
-                } else {
-                    layout.sparse_frontier_addr(index)
-                };
-                Some(CoreOp::Access(MemAccess::read(
-                    addr,
-                    if dense { 8 } else { 4 },
-                )))
-            }
-            TraceEvent::FrontierWrite {
-                vertex,
-                dense,
-                fused,
-            } => {
-                let absorbed = match self.target {
-                    Target::Omega { hot_count } => fused && dense && vertex < hot_count,
-                    Target::Baseline | Target::BaselinePlainAtomics => false,
-                };
-                if absorbed {
-                    None
-                } else if dense {
-                    Some(CoreOp::Access(MemAccess::write(
-                        layout.dense_frontier_addr(vertex as u64 / 64),
-                        8,
-                    )))
-                } else {
-                    let slot = self.cursors[core].sparse_out_slot;
-                    self.cursors[core].sparse_out_slot += 1;
-                    Some(CoreOp::Access(MemAccess::write(
-                        layout.sparse_out_addr(core, slot),
-                        4,
-                    )))
-                }
-            }
-            TraceEvent::NGraph => {
-                let slot = self.cursors[core].ngraph_slot;
-                self.cursors[core].ngraph_slot += 1;
-                Some(CoreOp::Access(MemAccess::read(
-                    layout.ngraph_addr(core, slot),
+        lower_event(self.layout, self.target, core, &mut self.cursors[core], ev)
+    }
+}
+
+/// Lowers one event against one core's cursor; `None` means the event is
+/// absorbed on this target. Shared by the multi-core [`LoweringStream`]
+/// and the per-core [`CoreLoweringStream`], so the two paths cannot drift.
+fn lower_event(
+    layout: &Layout,
+    target: Target,
+    core: usize,
+    cursor: &mut CoreCursor,
+    ev: TraceEvent,
+) -> Option<CoreOp> {
+    match ev {
+        TraceEvent::Compute(x100) => Some(CoreOp::ComputeX100(x100)),
+        TraceEvent::PropRead { id, v } => Some(CoreOp::Access(MemAccess::read(
+            layout.prop_addr(id, v),
+            layout.prop_entry_bytes(id) as u8,
+        ))),
+        TraceEvent::PropReadSrc { id, v } => Some(CoreOp::Access(MemAccess {
+            addr: layout.prop_addr(id, v),
+            size: layout.prop_entry_bytes(id) as u8,
+            kind: AccessKind::ReadStable,
+        })),
+        TraceEvent::PropWrite { id, v } => Some(CoreOp::Access(MemAccess::write(
+            layout.prop_addr(id, v),
+            layout.prop_entry_bytes(id) as u8,
+        ))),
+        TraceEvent::PropAtomic { id, v, kind } => {
+            let access = if target == Target::BaselinePlainAtomics {
+                MemAccess::write(layout.prop_addr(id, v), layout.prop_entry_bytes(id) as u8)
+            } else {
+                MemAccess::atomic(
+                    layout.prop_addr(id, v),
+                    layout.prop_entry_bytes(id) as u8,
+                    kind,
+                )
+            };
+            Some(CoreOp::Access(access))
+        }
+        TraceEvent::EdgeRead { arc } => Some(CoreOp::Access(MemAccess::read(
+            layout.edge_addr(arc),
+            layout.arc_bytes() as u8,
+        ))),
+        TraceEvent::FrontierRead { index, dense } => {
+            let addr = if dense {
+                layout.dense_frontier_addr(index)
+            } else {
+                layout.sparse_frontier_addr(index)
+            };
+            Some(CoreOp::Access(MemAccess::read(
+                addr,
+                if dense { 8 } else { 4 },
+            )))
+        }
+        TraceEvent::FrontierWrite {
+            vertex,
+            dense,
+            fused,
+        } => {
+            let absorbed = match target {
+                Target::Omega { hot_count } => fused && dense && vertex < hot_count,
+                Target::Baseline | Target::BaselinePlainAtomics => false,
+            };
+            if absorbed {
+                None
+            } else if dense {
+                Some(CoreOp::Access(MemAccess::write(
+                    layout.dense_frontier_addr(vertex as u64 / 64),
                     8,
                 )))
+            } else {
+                let slot = cursor.sparse_out_slot;
+                cursor.sparse_out_slot += 1;
+                Some(CoreOp::Access(MemAccess::write(
+                    layout.sparse_out_addr(core, slot),
+                    4,
+                )))
             }
-            TraceEvent::Barrier => Some(CoreOp::Barrier),
         }
+        TraceEvent::NGraph => {
+            let slot = cursor.ngraph_slot;
+            cursor.ngraph_slot += 1;
+            Some(CoreOp::Access(MemAccess::read(
+                layout.ngraph_addr(core, slot),
+                8,
+            )))
+        }
+        TraceEvent::Barrier => Some(CoreOp::Barrier),
     }
 }
 
@@ -179,6 +191,52 @@ pub fn lower(raw: &RawTrace, layout: &Layout, target: Target) -> Vec<Trace> {
     (0..stream.n_cores())
         .map(|core| std::iter::from_fn(|| stream.next(core)).collect())
         .collect()
+}
+
+/// One core's lowering stream, detachable onto a staging worker thread.
+///
+/// The same lazy lowering as [`LoweringStream`], restricted to a single
+/// core so a set of them (from [`CoreLoweringStream::split`]) can be
+/// distributed across threads: each stream owns only its core's cursor and
+/// reads the shared trace and layout immutably. Both paths lower through
+/// the same `lower_event`, so the op sequence per core is identical to the
+/// serial stream's by construction.
+#[derive(Debug)]
+pub struct CoreLoweringStream<'a> {
+    raw: &'a RawTrace,
+    layout: &'a Layout,
+    target: Target,
+    core: usize,
+    cursor: CoreCursor,
+}
+
+impl<'a> CoreLoweringStream<'a> {
+    /// Splits `raw` into one independent stream per core.
+    pub fn split(raw: &'a RawTrace, layout: &'a Layout, target: Target) -> Vec<Self> {
+        (0..raw.n_cores())
+            .map(|core| CoreLoweringStream {
+                raw,
+                layout,
+                target,
+                core,
+                cursor: CoreCursor::default(),
+            })
+            .collect()
+    }
+}
+
+impl CoreStream for CoreLoweringStream<'_> {
+    fn next_op(&mut self) -> Option<CoreOp> {
+        loop {
+            let ev = self.raw.event(self.core, self.cursor.pos)?;
+            self.cursor.pos += 1;
+            if let Some(op) = lower_event(self.layout, self.target, self.core, &mut self.cursor, ev)
+            {
+                return Some(op);
+            }
+            // Absorbed event (free on this target): keep scanning.
+        }
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,23 @@
 //!   (`Blocking::Full`) — the overhead OMEGA's PISC offload removes.
 //!
 //! The L2 is inclusive: evicting an L2 victim back-invalidates L1 copies.
+//!
+//! ## State classes under parallel replay
+//!
+//! The hierarchy's state splits into two classes with different rules in
+//! the staged-replay discipline (see `engine`'s module docs):
+//!
+//! * **Per-core-accumulable** — the [`CoreCounters`] banks (`l1_stats`,
+//!   `l2_stats`) and the per-instance [`CacheArray`]s: each index is
+//!   touched only on behalf of one core or bank per event, and the public
+//!   view is an order-insensitive merge ([`CoreCounters::merged`]). These
+//!   could in principle live thread-locally and be summed at a barrier.
+//! * **Globally-ordered contention state** — the coherence `directory`,
+//!   `line_locks`, the [`Crossbar`] port ledgers, and the [`DramModel`]
+//!   channel ledgers: consulted with zero lookahead and mutated by every
+//!   access in causal order, so they must only ever be touched by the
+//!   single timing thread. This is why parallelism lives in op *staging*
+//!   (lowering), never in timing itself.
 
 use crate::audit::{self, AuditReport};
 use crate::cache::{CacheArray, LineState};
@@ -24,7 +41,7 @@ use crate::config::MachineConfig;
 use crate::dram::DramModel;
 use crate::mem::{AccessKind, AccessOutcome, Blocking, MemAccess, MemorySystem};
 use crate::noc::Crossbar;
-use crate::stats::{AtomicStats, CacheStats, MemStats};
+use crate::stats::{AtomicStats, CoreCounters, MemStats};
 use crate::telemetry::{LatencyHistogram, TelemetryReport, WindowSampler};
 use crate::{line_of, Cycle, LINE_BYTES};
 use std::collections::HashMap;
@@ -62,9 +79,9 @@ struct HierTelemetry {
 pub struct CacheHierarchy {
     cfg: MachineConfig,
     l1: Vec<CacheArray>,
-    l1_stats: Vec<CacheStats>,
+    l1_stats: CoreCounters,
     l2: Vec<CacheArray>,
-    l2_stats: Vec<CacheStats>,
+    l2_stats: CoreCounters,
     directory: HashMap<u64, DirEntry>,
     noc: Crossbar,
     dram: DramModel,
@@ -81,9 +98,9 @@ impl CacheHierarchy {
         let mut h = CacheHierarchy {
             cfg: *cfg,
             l1: (0..n).map(|_| CacheArray::new(&cfg.l1)).collect(),
-            l1_stats: vec![CacheStats::default(); n],
+            l1_stats: CoreCounters::new(n),
             l2: (0..n).map(|_| CacheArray::new(&cfg.l2)).collect(),
-            l2_stats: vec![CacheStats::default(); n],
+            l2_stats: CoreCounters::new(n),
             directory: HashMap::new(),
             noc: Crossbar::new(cfg.noc, n),
             dram: DramModel::new(cfg.dram),
@@ -150,17 +167,9 @@ impl CacheHierarchy {
 
     /// Merged statistics across all cores and banks.
     pub fn stats(&self) -> MemStats {
-        let mut l1 = CacheStats::default();
-        for s in &self.l1_stats {
-            l1.merge(s);
-        }
-        let mut l2 = CacheStats::default();
-        for s in &self.l2_stats {
-            l2.merge(s);
-        }
         MemStats {
-            l1,
-            l2,
+            l1: self.l1_stats.merged(),
+            l2: self.l2_stats.merged(),
             noc: self.noc.stats(),
             dram: self.dram.stats(),
             atomics: self.atomics,
@@ -221,7 +230,7 @@ impl CacheHierarchy {
         if bank != core {
             self.noc.send(bank, LINE_BYTES as u32, now);
         }
-        self.l1_stats[core].writebacks += 1;
+        self.l1_stats.writebacks[core] += 1;
         self.l2[bank].set_state(line, LineState::Modified);
         if let Some(e) = self.directory.get_mut(&line) {
             e.owner_modified = None;
@@ -239,7 +248,7 @@ impl CacheHierarchy {
         for other in 0..self.cfg.core.n_cores {
             if other != core && (entry.sharers >> other) & 1 == 1 {
                 if self.l1[other].invalidate(line).is_some() {
-                    self.l1_stats[other].invalidations += 1;
+                    self.l1_stats.invalidations[other] += 1;
                 }
                 self.noc.send(other, 0, now); // header-only invalidation packet
                 count += 1;
@@ -270,7 +279,7 @@ impl CacheHierarchy {
                 if let Some(e) = self.directory.get_mut(&line) {
                     e.owner_modified = None;
                 }
-                self.l2_stats[bank].hits += 1;
+                self.l2_stats.hits[bank] += 1;
                 if want_exclusive {
                     self.invalidate_others(core, line, now);
                 }
@@ -293,10 +302,10 @@ impl CacheHierarchy {
             }
         }
         if self.l2[bank].lookup(line).is_some() {
-            self.l2_stats[bank].hits += 1;
+            self.l2_stats.hits[bank] += 1;
             now += self.cfg.l2.latency as u64;
         } else {
-            self.l2_stats[bank].misses += 1;
+            self.l2_stats.misses[bank] += 1;
             now += self.cfg.l2.latency as u64;
             now = self.dram.access_line(line, false, now);
             if let Some(ev) = self.l2[bank].insert(line, LineState::Shared) {
@@ -305,7 +314,7 @@ impl CacheHierarchy {
                 // L2 line state itself was clean.
                 let recalled_dirty = self.back_invalidate(ev.line, now);
                 if ev.state.dirty() || recalled_dirty {
-                    self.l2_stats[bank].writebacks += 1;
+                    self.l2_stats.writebacks[bank] += 1;
                     self.dram.access_line(ev.line, true, now);
                 }
             }
@@ -326,7 +335,7 @@ impl CacheHierarchy {
             for other in 0..self.cfg.core.n_cores {
                 if (entry.sharers >> other) & 1 == 1 {
                     if let Some(state) = self.l1[other].invalidate(line) {
-                        self.l1_stats[other].invalidations += 1;
+                        self.l1_stats.invalidations[other] += 1;
                         if state.dirty() {
                             // Recall the dirty data alongside the probe.
                             self.noc
@@ -367,7 +376,7 @@ impl CacheHierarchy {
 
         match self.l1[core].lookup(line) {
             Some(state) if !write || state.writable() => {
-                self.l1_stats[core].hits += 1;
+                self.l1_stats.hits[core] += 1;
                 if write {
                     self.l1[core].set_state(line, LineState::Modified);
                     let e = self.directory.entry(line).or_default();
@@ -378,7 +387,7 @@ impl CacheHierarchy {
             }
             Some(_shared_needs_upgrade) => {
                 // Write to a Shared line: upgrade through the home bank.
-                self.l1_stats[core].hits += 1;
+                self.l1_stats.hits[core] += 1;
                 t = if bank == core {
                     t + self.cfg.l2.latency as u64
                 } else {
@@ -392,7 +401,7 @@ impl CacheHierarchy {
                 t
             }
             None => {
-                self.l1_stats[core].misses += 1;
+                self.l1_stats.misses[core] += 1;
                 // Request to the home bank.
                 let at_bank = if bank == core {
                     t

@@ -52,6 +52,70 @@ impl CacheStats {
     }
 }
 
+/// Struct-of-arrays bank of per-instance cache counters.
+///
+/// The hot cache-access paths bump exactly one counter per event; keeping
+/// each counter kind in its own contiguous array means an L1-hit burst
+/// walks one cache line of `hits` instead of striding over whole
+/// `CacheStats` records, and a per-core slice of any one kind is a plain
+/// `&[u64]`. Per-instance counters are **per-core-accumulable** state in
+/// the parallel-replay discipline: each index is written only on behalf of
+/// one cache instance, and the global view is the order-insensitive sum
+/// [`CoreCounters::merged`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreCounters {
+    /// Per-instance hit counts.
+    pub hits: Vec<u64>,
+    /// Per-instance miss counts.
+    pub misses: Vec<u64>,
+    /// Per-instance writeback counts.
+    pub writebacks: Vec<u64>,
+    /// Per-instance coherence-invalidation counts.
+    pub invalidations: Vec<u64>,
+}
+
+impl CoreCounters {
+    /// A zeroed bank for `n` cache instances.
+    pub fn new(n: usize) -> Self {
+        CoreCounters {
+            hits: vec![0; n],
+            misses: vec![0; n],
+            writebacks: vec![0; n],
+            invalidations: vec![0; n],
+        }
+    }
+
+    /// Number of instances in the bank.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Whether the bank holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// One instance's counters as a [`CacheStats`] record.
+    pub fn instance(&self, i: usize) -> CacheStats {
+        CacheStats {
+            hits: self.hits[i],
+            misses: self.misses[i],
+            writebacks: self.writebacks[i],
+            invalidations: self.invalidations[i],
+        }
+    }
+
+    /// The order-insensitive sum over all instances — the merge the public
+    /// [`MemStats`] view reports.
+    pub fn merged(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for i in 0..self.len() {
+            total.merge(&self.instance(i));
+        }
+        total
+    }
+}
+
 /// On-chip interconnect traffic counters (Fig. 17's quantity).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NocStats {
@@ -356,6 +420,36 @@ mod tests {
                 invalidations: 44
             }
         );
+    }
+
+    #[test]
+    fn core_counters_merge_matches_per_instance_sum() {
+        let mut bank = CoreCounters::new(3);
+        bank.hits[0] = 5;
+        bank.misses[1] = 7;
+        bank.writebacks[2] = 2;
+        bank.invalidations[1] = 4;
+        assert_eq!(bank.len(), 3);
+        assert!(!bank.is_empty());
+        assert_eq!(
+            bank.instance(1),
+            CacheStats {
+                hits: 0,
+                misses: 7,
+                writebacks: 0,
+                invalidations: 4
+            }
+        );
+        assert_eq!(
+            bank.merged(),
+            CacheStats {
+                hits: 5,
+                misses: 7,
+                writebacks: 2,
+                invalidations: 4
+            }
+        );
+        assert_eq!(CoreCounters::new(0).merged(), CacheStats::default());
     }
 
     #[test]

@@ -108,12 +108,11 @@ impl LatencyHistogram {
         }
     }
 
+    /// Branch-free log2 bucketing: `64 − leading_zeros` maps 0 to bucket 0
+    /// naturally (`leading_zeros(0) == 64`), so the hot `record` path is a
+    /// count-leading-zeros and a subtract with no compare.
     fn bucket_index(value: u64) -> usize {
-        if value == 0 {
-            0
-        } else {
-            64 - value.leading_zeros() as usize
-        }
+        (64 - value.leading_zeros()) as usize
     }
 
     /// Inclusive `[lo, hi]` value range of bucket `i`.

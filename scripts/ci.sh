@@ -21,18 +21,31 @@ echo "ci: wrote target/validate-report.json and target/telemetry-sample.json"
 # Model-audit gate: conservation probes, the eight-machine sweep under the
 # invariant checker, and seeded differential config fuzzing. A fixed seed
 # keeps the fuzz stream reproducible; the JSON report is a CI artifact.
+# --jobs 2 runs every replay on the staged parallel engine, so the gate
+# doubles as a parallel-vs-serial equivalence check.
 cargo run --release -q -p omega-bench --bin audit -- \
-  --quick --seed 658711 --out target/audit-report.json
+  --quick --seed 658711 --jobs 2 --out target/audit-report.json
 echo "ci: wrote target/audit-report.json"
+
+# Performance snapshot (omega-bench-report/v1): microbench distributions
+# plus the cold figures-all sweep wall-clock at jobs=1 and jobs=4 — the
+# parallel-replay speedup is recorded in the same file. Diffing against
+# the committed snapshot prints the perf trajectory; it is informational
+# and never gates the build.
+./target/release/bench --out target/BENCH_sim.json
+./target/release/stats bench-diff BENCH_sim.json target/BENCH_sim.json || true
+echo "ci: wrote target/BENCH_sim.json"
 
 # Warm-store determinism gate: a second figure sweep against the same store
 # must be byte-identical on stdout and perform zero functional traces and
 # zero timing replays (everything served from the content-addressed cache).
+# --jobs 4 runs the cold sweep through the parallel prefetch/staging path,
+# so the gate also proves parallel replay feeds the store bit-identically.
 store_dir=$(mktemp -d)
 trap 'rm -rf "$store_dir"' EXIT
-./target/release/figures all --tiny --store "$store_dir/store" \
+./target/release/figures all --tiny --jobs 4 --store "$store_dir/store" \
   > target/figures-cold.txt 2> target/figures-cold.err
-./target/release/figures all --tiny --store "$store_dir/store" \
+./target/release/figures all --tiny --jobs 4 --store "$store_dir/store" \
   > target/figures-warm.txt 2> target/figures-warm.err
 cmp target/figures-cold.txt target/figures-warm.txt
 warm_line=$(grep '^\[store\]' target/figures-warm.err)

@@ -6,10 +6,12 @@
 //! replay at tiny scale must come back clean from the full conservation
 //! audit ([`omega_sim::audit`]): internal component ledgers, engine stall
 //! attribution, cross-component traffic balance, and telemetry histogram
-//! totals.
+//! totals. The replay parallelism is drawn alongside the machine knobs,
+//! so the audit also exercises the staged engine — which must be
+//! invisible to every invariant.
 
 use omega_repro::core::config::SystemConfig;
-use omega_repro::core::runner::{replay_audited, trace_algorithm};
+use omega_repro::core::runner::{replay_audited, replay_audited_parallel, trace_algorithm};
 use omega_repro::graph::datasets::{Dataset, DatasetScale};
 use omega_repro::graph::rng::SmallRng;
 use omega_repro::ligra::algorithms::Algo;
@@ -58,12 +60,16 @@ fn random_configs_pass_the_conservation_audit() {
                     ("omega", SystemConfig::mini_omega()),
                 ] {
                     let sys = perturb(base, &mut rng);
-                    let (parts, audit) = replay_audited(&raw, &meta, &sys);
+                    // The engine the audit observes is drawn too: serial or
+                    // staged at 2–4 workers, all bit-identical by contract.
+                    let parallelism = rng.gen_range(1usize..=4);
+                    let (parts, audit) = replay_audited_parallel(&raw, &meta, &sys, parallelism);
                     assert!(audit.checks_run() > 0);
                     assert!(
                         audit.is_clean(),
                         "{name} on {label} (round {round}, dram latency {}, \
-                         {} channels, noc latency {}, {:?}, telemetry {}):\n{audit}",
+                         {} channels, noc latency {}, {:?}, telemetry {}, \
+                         parallelism {parallelism}):\n{audit}",
                         sys.machine.dram.latency,
                         sys.machine.dram.channels,
                         sys.machine.noc.latency,
@@ -71,6 +77,11 @@ fn random_configs_pass_the_conservation_audit() {
                         sys.machine.telemetry.enabled,
                     );
                     assert!(parts.0.total_cycles > 0);
+                    if parallelism > 1 {
+                        // Spot-check the identity the draw relies on.
+                        let (serial, _) = replay_audited(&raw, &meta, &sys);
+                        assert_eq!(parts, serial, "{name} on {label} round {round}");
+                    }
                 }
             }
         }
