@@ -31,6 +31,7 @@ use omega_graph::rng::SmallRng;
 use omega_graph::CsrGraph;
 use omega_ligra::ExecConfig;
 use omega_sim::dram::RowMode;
+use omega_sim::obs;
 use omega_sim::stats::MemStats;
 use omega_sim::telemetry::TelemetryConfig;
 use std::collections::HashMap;
@@ -308,6 +309,28 @@ impl Fuzzer {
                     slower.0.total_cycles, parts.0.total_cycles
                 ),
             ));
+        }
+
+        // Oracle 6: host observability (spans + sim-interval capture) is
+        // an observer, not a participant — an obs-on replay must be
+        // bit-identical to the obs-off baseline, telemetry included.
+        // Skipped when the harness itself already has obs enabled (e.g.
+        // `audit --profile`): toggling would clobber its live registry,
+        // and the baseline would have been collected obs-on anyway.
+        if !obs::enabled() {
+            obs::enable(true, true);
+            let (on, _) = replay_audited_parallel(&raw, &meta, &sys, self.parallelism);
+            let _ = obs::drain();
+            checks += 1;
+            if on != parts {
+                failures.push((
+                    "obs-transparency".into(),
+                    format!(
+                        "observability perturbed the model: {} vs {} cycles",
+                        on.0.total_cycles, parts.0.total_cycles
+                    ),
+                ));
+            }
         }
 
         // Oracle 6: the store codec is lossless (warm == cold).

@@ -77,6 +77,7 @@ pub fn bench_report_to_json(report: &BenchReport) -> Json {
                     o.set("median_ns", Json::Num(b.median_ns));
                     o.set("max_ns", Json::Num(b.max_ns));
                     o.set("mean_ns", Json::Num(b.mean_ns));
+                    o.set("stddev_ns", Json::Num(b.stddev_ns));
                     o
                 })
                 .collect(),
@@ -136,6 +137,9 @@ pub fn bench_report_from_json(j: &Json) -> Result<BenchReport, String> {
             median_ns: field_f64(b, "median_ns")?,
             max_ns: field_f64(b, "max_ns")?,
             mean_ns: field_f64(b, "mean_ns")?,
+            // Tolerant: snapshots written before the field existed (the
+            // committed BENCH_sim.json baseline) parse as zero noise.
+            stddev_ns: b.get("stddev_ns").and_then(Json::as_f64).unwrap_or(0.0),
         });
     }
     for s in j
@@ -160,12 +164,58 @@ fn pct(old: f64, new: f64) -> String {
     format!("{:+.1}%", (new - old) / old * 100.0)
 }
 
+/// `±2σ` band, as a percentage of the old median — the scale a delta must
+/// clear before it means anything. Empty when neither snapshot recorded a
+/// stddev (pre-field baselines parse as zero noise).
+fn noise_band(old: &BenchResult, new: &BenchResult) -> String {
+    let sd = old.stddev_ns.max(new.stddev_ns);
+    if sd <= 0.0 || old.median_ns <= 0.0 {
+        return String::new();
+    }
+    format!("±{:.1}%", 2.0 * sd / old.median_ns * 100.0)
+}
+
+/// Wall-clock sweep regressions beyond `threshold_pct`, comparing each of
+/// `new`'s sweeps against the matching `(name, scale, jobs)` entry in
+/// `old`. Returns `(label, old_ms, new_ms, regress_pct)` rows — empty
+/// means the gate passes. Sweeps present in only one snapshot never fail
+/// the gate.
+pub fn sweep_regressions(
+    old: &BenchReport,
+    new: &BenchReport,
+    threshold_pct: f64,
+) -> Vec<(String, f64, f64, f64)> {
+    let mut out = Vec::new();
+    for s in &new.sweeps {
+        let Some(o) = old
+            .sweeps
+            .iter()
+            .find(|o| o.name == s.name && o.scale == s.scale && o.jobs == s.jobs)
+        else {
+            continue;
+        };
+        if o.wall_ms <= 0.0 {
+            continue;
+        }
+        let regress = (s.wall_ms - o.wall_ms) / o.wall_ms * 100.0;
+        if regress > threshold_pct {
+            out.push((
+                format!("{} [{} jobs={}]", s.name, s.scale, s.jobs),
+                o.wall_ms,
+                s.wall_ms,
+                regress,
+            ));
+        }
+    }
+    out
+}
+
 /// Per-benchmark delta table between two snapshots (the CI perf
 /// trajectory). Medians are compared for micro-benchmarks, wall-clock for
 /// sweeps; entries present in only one snapshot are marked. Informational
 /// — rendering never fails on drift.
 pub fn bench_delta_table(old: &BenchReport, new: &BenchReport) -> Table {
-    let mut t = Table::new(["benchmark", "old", "new", "delta"]);
+    let mut t = Table::new(["benchmark", "old", "new", "delta", "noise"]);
     for b in &new.benchmarks {
         match old.benchmarks.iter().find(|o| o.name == b.name) {
             Some(o) => t.row([
@@ -173,12 +223,14 @@ pub fn bench_delta_table(old: &BenchReport, new: &BenchReport) -> Table {
                 format!("{:.1} ns", o.median_ns),
                 format!("{:.1} ns", b.median_ns),
                 pct(o.median_ns, b.median_ns),
+                noise_band(o, b),
             ]),
             None => t.row([
                 b.name.clone(),
                 "—".to_string(),
                 format!("{:.1} ns", b.median_ns),
                 "new".to_string(),
+                String::new(),
             ]),
         };
     }
@@ -231,6 +283,7 @@ mod tests {
                     median_ns: 100.0,
                     max_ns: 130.0,
                     mean_ns: 105.0,
+                    stddev_ns: 8.0,
                 },
                 BenchResult {
                     name: "substrate/csr_build".into(),
@@ -240,6 +293,7 @@ mod tests {
                     median_ns: 11.0,
                     max_ns: 12.0,
                     mean_ns: 11.2,
+                    stddev_ns: 0.5,
                 },
             ],
             sweeps: vec![
@@ -284,6 +338,47 @@ mod tests {
     }
 
     #[test]
+    fn stddev_field_is_optional_when_parsing() {
+        // A snapshot written before the field existed (the committed
+        // baseline) must still parse, with zero noise.
+        let mut b = Json::obj();
+        b.set("name", Json::Str("x".into()));
+        b.set("samples", Json::Num(2.0));
+        b.set("iters", Json::Num(10.0));
+        b.set("min_ns", Json::Num(1.0));
+        b.set("median_ns", Json::Num(2.0));
+        b.set("max_ns", Json::Num(3.0));
+        b.set("mean_ns", Json::Num(2.0));
+        let mut j = Json::obj();
+        j.set("schema", Json::Str(BENCH_REPORT_SCHEMA.into()));
+        j.set("benchmarks", Json::Arr(vec![b]));
+        j.set("sweeps", Json::Arr(vec![]));
+        let r = bench_report_from_json(&j).unwrap();
+        assert_eq!(r.benchmarks[0].stddev_ns, 0.0);
+    }
+
+    #[test]
+    fn sweep_regression_gate_trips_only_beyond_threshold() {
+        let old = sample();
+        let mut new = sample();
+        assert!(sweep_regressions(&old, &new, 10.0).is_empty());
+        new.sweeps[0].wall_ms = 50_000.0; // +25% over the 40 s baseline
+        let hits = sweep_regressions(&old, &new, 10.0);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].0.contains("jobs=1"), "{:?}", hits[0]);
+        assert!((hits[0].3 - 25.0).abs() < 1e-9);
+        assert!(sweep_regressions(&old, &new, 30.0).is_empty());
+        // Sweeps present in only one snapshot never trip the gate.
+        new.sweeps.push(SweepMeasurement {
+            name: "brand_new".into(),
+            scale: "small".into(),
+            jobs: 1,
+            wall_ms: 1e9,
+        });
+        assert!(sweep_regressions(&old, &new, 30.0).is_empty());
+    }
+
+    #[test]
     fn delta_table_covers_changed_new_and_removed() {
         let old = sample();
         let mut new = sample();
@@ -297,6 +392,7 @@ mod tests {
             median_ns: 2.0,
             max_ns: 3.0,
             mean_ns: 2.0,
+            stddev_ns: 0.1,
         });
         let t = bench_delta_table(&old, &new);
         let rendered = t.render();

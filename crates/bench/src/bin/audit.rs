@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run --release -p omega-bench --bin audit -- \
-//!     [--quick] [--seed N] [--cases N] [--jobs N] [--json] [--out PATH]
+//!     [--quick] [--seed N] [--cases N] [--jobs N] [--json] [--out PATH] \
+//!     [--profile] [--profile-out FILE] [--trace FILE]
 //! ```
 //!
 //! `--quick` trims the sweep to three workloads and the fuzzer to a
@@ -21,6 +22,7 @@
 use omega_bench::audit::Fuzzer;
 use omega_bench::json::Json;
 use omega_bench::session::{AlgoKey, MachineKind, Session};
+use omega_bench::ObsOptions;
 use omega_core::runner::{timing_replay_count, Runner};
 use omega_graph::datasets::{Dataset, DatasetScale};
 use omega_sim::telemetry::TelemetryConfig;
@@ -39,6 +41,7 @@ struct Options {
     cases: Option<usize>,
     jobs: usize,
     out: Option<String>,
+    obs: ObsOptions,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -49,9 +52,13 @@ fn parse_args() -> Result<Options, String> {
         cases: None,
         jobs: 1,
         out: None,
+        obs: ObsOptions::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
+        if opts.obs.try_parse_flag(&a, &mut args)? {
+            continue;
+        }
         match a.as_str() {
             "--quick" => opts.quick = true,
             "--json" => opts.json = true,
@@ -140,6 +147,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    opts.obs.install();
     let mut checks: Vec<Check> = Vec::new();
 
     // 1. Deterministic model probes: fail immediately if either accounting
@@ -285,6 +293,10 @@ fn main() -> ExitCode {
         eprintln!("\n{summary}");
     } else {
         println!("\n{summary}");
+    }
+    if let Err(e) = opts.obs.finish() {
+        eprintln!("audit: cannot write obs output: {e}");
+        return ExitCode::FAILURE;
     }
     if failed == 0 {
         ExitCode::SUCCESS

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! bench [--out PATH] [--tiny] [--skip-sweep] [--jobs N]
+//!       [--profile] [--profile-out FILE] [--trace FILE]
 //! ```
 //!
 //! Two kinds of measurement land in one report:
@@ -21,6 +22,7 @@
 use omega_bench::bench_report::{bench_report_to_json, BenchReport, SweepMeasurement};
 use omega_bench::microbench::{black_box, Criterion};
 use omega_bench::session::{AlgoKey, MachineKind, Session};
+use omega_bench::ObsOptions;
 use omega_core::config::SystemConfig;
 use omega_core::layout::Layout;
 use omega_core::lower::{lower, Target};
@@ -58,11 +60,17 @@ fn main() {
     let mut tiny = false;
     let mut skip_sweep = false;
     let mut sweep_jobs: Vec<usize> = vec![1, 4];
-    let mut it = args.iter();
+    let mut obs = ObsOptions::default();
+    let mut it = args.into_iter();
     while let Some(arg) = it.next() {
+        match obs.try_parse_flag(&arg, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => die(&e),
+        }
         match arg.as_str() {
             "--out" => match it.next() {
-                Some(p) => out = Some(p.clone()),
+                Some(p) => out = Some(p),
                 None => die("--out needs a path"),
             },
             "--tiny" => tiny = true,
@@ -79,6 +87,7 @@ fn main() {
     } else {
         DatasetScale::Small
     };
+    obs.install();
 
     let mut report = BenchReport {
         benchmarks: micro_benchmarks(),
@@ -115,6 +124,9 @@ fn main() {
             eprintln!("[bench] wrote {path}");
         }
         None => print!("{text}"),
+    }
+    if let Err(e) = obs.finish() {
+        die(&format!("cannot write obs output: {e}"));
     }
 }
 

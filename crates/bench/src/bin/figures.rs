@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! figures <id>... [--tiny|--medium] [--store PATH] [--jobs N]
+//!                 [--profile] [--profile-out FILE] [--trace FILE]
 //! ids: table1 table2 table3 table4 fig3 fig4a fig4b fig5 fig14 fig15
 //!      fig16 fig17 fig18 fig19 fig20 fig21 abl-pisc abl-chunk abl-svb
 //!      abl-reorder all
@@ -20,11 +21,17 @@
 //! produces byte-identical stdout. The final stderr line reports the
 //! store's hit/miss counters together with this process's functional-trace
 //! and timing-replay counts.
+//!
+//! `--profile` prints a host-side self-time table to stderr at exit;
+//! `--profile-out FILE` writes the same data as `omega-profile-report/v1`
+//! JSON; `--trace FILE` writes a Chrome Trace Event file (host spans plus
+//! simulated DRAM/NoC/core activity) loadable in Perfetto. All three are
+//! off by default and leave disabled runs bit-identical.
 
 use omega_bench::json::Json;
 use omega_bench::session::{AlgoKey, MachineKind, Session};
 use omega_bench::store::{value_fingerprint, StoreCounters};
-use omega_bench::{ExperimentStore, Table};
+use omega_bench::{ExperimentStore, ObsOptions, Table};
 use omega_core::analytic::{estimate, WorkloadProfile};
 use omega_core::config::SystemConfig;
 use omega_core::runner::{
@@ -36,6 +43,7 @@ use omega_graph::{reorder, stats};
 use omega_ligra::algorithms::Algo;
 use omega_ligra::ExecConfig;
 use omega_sim::fingerprint::{Canonicalize, Fnv64};
+use omega_sim::obs;
 
 /// The fig. 14-style sweep datasets (the paper's detailed-simulation set;
 /// uk/twitter are handled by the fig. 20 analytic model).
@@ -67,13 +75,22 @@ fn main() {
     let mut store_path: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut ids: Vec<String> = Vec::new();
-    let mut it = args.iter();
+    let mut obs = ObsOptions::default();
+    let mut it = args.into_iter();
     while let Some(arg) = it.next() {
+        match obs.try_parse_flag(&arg, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("figures: {e}");
+                std::process::exit(2);
+            }
+        }
         match arg.as_str() {
             "--tiny" => tiny = true,
             "--medium" => medium = true,
             "--store" => match it.next() {
-                Some(p) => store_path = Some(p.clone()),
+                Some(p) => store_path = Some(p),
                 None => {
                     eprintln!("figures: --store needs a path");
                     std::process::exit(2);
@@ -94,6 +111,7 @@ fn main() {
         }
     }
     let ids: Vec<&str> = ids.iter().map(String::as_str).collect();
+    obs.install();
     let scale = if tiny {
         DatasetScale::Tiny
     } else if medium {
@@ -172,6 +190,7 @@ fn main() {
     }
 
     for id in selected {
+        let _fig = obs::span_owned(format!("figure.{id}"));
         match id {
             "table1" => table1(&mut session),
             "table2" => table2(&mut session, &values),
@@ -227,6 +246,11 @@ fn main() {
             functional_trace_count(),
             timing_replay_count()
         );
+    }
+
+    if let Err(e) = obs.finish() {
+        eprintln!("figures: cannot write obs output: {e}");
+        std::process::exit(2);
     }
 }
 

@@ -28,16 +28,21 @@ use omega_bench::json::{flatten_numbers, Json};
 use omega_bench::report_json::run_report_to_json;
 use omega_bench::session::{AlgoKey, ExperimentSpec, MachineKind, Session};
 use omega_bench::table::Table;
-use omega_bench::ExperimentStore;
+use omega_bench::{check_chrome_trace, ExperimentStore, ObsOptions};
 use omega_graph::datasets::{Dataset, DatasetScale};
 use omega_sim::telemetry::TelemetryConfig;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   stats dump [--dataset CODE] [--algo NAME] [--machine KIND] \
-[--scale tiny|small|medium] [--window N] [--store PATH] [--jobs N] [--out PATH]
+[--scale tiny|small|medium] [--window N] [--store PATH] [--jobs N] [--out PATH] \
+[--profile] [--profile-out FILE] [--trace FILE]
   stats diff A.json B.json
-  stats bench-diff OLD.json NEW.json   compare two BENCH_sim.json snapshots
+  stats bench-diff OLD.json NEW.json [--fail-on-regress PCT]
+                           compare two BENCH_sim.json snapshots; with
+                           --fail-on-regress, exit 1 when any matched sweep
+                           regresses by more than PCT percent
+  stats trace-check FILE   validate a Chrome Trace Event file (--trace output)
   stats store ls PATH      list every entry of a persistent store
   stats store verify PATH  check fingerprints + checksums (JSON to stdout)
   stats store gc PATH      drop corrupt entries and leftover temp files
@@ -46,6 +51,7 @@ dump defaults: --dataset sd --algo pagerank --machine baseline \
 --scale tiny --window 65536 (stdout)
 dump --store reuses/persists the run in a content-addressed store
 dump --jobs caps the replay worker threads (default: all cores)
+dump --profile/--profile-out/--trace enable host self-profiling (stderr/files)
 machines: baseline, omega, omega-nopisc, omega-nosvb, locked-cache
 algos: pagerank, bfs, sssp, bc, radii, cc, tc, kcore";
 
@@ -97,25 +103,31 @@ fn dump(args: &[String]) -> ExitCode {
     let mut out: Option<String> = None;
     let mut store_path: Option<String> = None;
     let mut jobs: Option<usize> = None;
-    let mut it = args.iter();
+    let mut obs = ObsOptions::default();
+    let mut it = args.iter().cloned();
     while let Some(flag) = it.next() {
+        match obs.try_parse_flag(&flag, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => return usage_error(&e),
+        }
         let Some(value) = it.next() else {
             return usage_error(&format!("{flag} needs a value"));
         };
         match flag.as_str() {
-            "--dataset" => match Dataset::from_code(value) {
+            "--dataset" => match Dataset::from_code(&value) {
                 Some(d) => dataset = d,
                 None => return usage_error(&format!("unknown dataset {value:?}")),
             },
-            "--algo" => match parse_algo(value) {
+            "--algo" => match parse_algo(&value) {
                 Some(a) => algo = a,
                 None => return usage_error(&format!("unknown algorithm {value:?}")),
             },
-            "--machine" => match parse_machine(value) {
+            "--machine" => match parse_machine(&value) {
                 Some(m) => machine = m,
                 None => return usage_error(&format!("unknown machine {value:?}")),
             },
-            "--scale" => match parse_scale(value) {
+            "--scale" => match parse_scale(&value) {
                 Some(s) => scale = s,
                 None => return usage_error(&format!("unknown scale {value:?}")),
             },
@@ -132,6 +144,7 @@ fn dump(args: &[String]) -> ExitCode {
             _ => return usage_error(&format!("unknown flag {flag:?}")),
         }
     }
+    obs.install();
     let mut session = Session::new(scale)
         .verbose(false)
         .telemetry(TelemetryConfig::windowed(window));
@@ -165,7 +178,7 @@ fn dump(args: &[String]) -> ExitCode {
         doc.set("store", store_counters_json(store));
     }
     let text = doc.dump();
-    match out {
+    let code = match out {
         None => {
             print!("{text}");
             ExitCode::SUCCESS
@@ -186,7 +199,12 @@ fn dump(args: &[String]) -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+    };
+    if let Err(e) = obs.finish() {
+        eprintln!("stats: cannot write obs output: {e}");
+        return ExitCode::FAILURE;
     }
+    code
 }
 
 /// The store's hit/miss counters as a JSON object, embedded in dump
@@ -360,12 +378,34 @@ fn diff(path_a: &str, path_b: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `stats bench-diff OLD NEW` — the CI perf-trajectory step: tabulate
-/// per-benchmark median and per-sweep wall-clock deltas between two
-/// `omega-bench-report/v1` snapshots. Informational: drift prints, it
-/// never fails the command.
-fn bench_diff(path_old: &str, path_new: &str) -> ExitCode {
+/// `stats bench-diff OLD NEW [--fail-on-regress PCT]` — the CI
+/// perf-trajectory step: tabulate per-benchmark median and per-sweep
+/// wall-clock deltas between two `omega-bench-report/v1` snapshots.
+/// Informational by default; with `--fail-on-regress PCT`, any matched
+/// end-to-end sweep that slowed down by more than PCT percent fails the
+/// command (median micro-benchmarks stay informational — their noise is
+/// reported in the table's ±2σ column instead).
+fn bench_diff(args: &[String]) -> ExitCode {
     use omega_bench::bench_report::{bench_delta_table, bench_report_from_json};
+    use omega_bench::sweep_regressions;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut fail_on: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fail-on-regress" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if pct > 0.0 => fail_on = Some(pct),
+                _ => return usage_error("--fail-on-regress needs a positive percentage"),
+            },
+            other if other.starts_with("--") => {
+                return usage_error(&format!("unknown flag {other:?}"))
+            }
+            other => paths.push(other),
+        }
+    }
+    let [path_old, path_new] = paths[..] else {
+        return usage_error("bench-diff takes exactly two snapshot paths");
+    };
     let parse = |path: &str| {
         load(path).and_then(|j| bench_report_from_json(&j).map_err(|e| format!("{path}: {e}")))
     };
@@ -381,7 +421,47 @@ fn bench_diff(path_old: &str, path_new: &str) -> ExitCode {
     if let Some(s) = new.sweep_speedup("figures_all_cold", 4) {
         println!("parallel replay speedup at 4 jobs (new snapshot): {s:.2}x");
     }
+    if let Some(threshold) = fail_on {
+        let regressions = sweep_regressions(&old, &new, threshold);
+        if !regressions.is_empty() {
+            for (label, old_ms, new_ms, pct) in &regressions {
+                eprintln!(
+                    "stats: REGRESSION {label}: {old_ms:.1} ms -> {new_ms:.1} ms (+{pct:.1}%, \
+                     threshold {threshold}%)"
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("no sweep regression beyond {threshold}%");
+    }
     ExitCode::SUCCESS
+}
+
+/// `stats trace-check FILE` — validate a Chrome Trace Event document
+/// produced by `--trace`: well-formed JSON, a `traceEvents` array whose
+/// complete events carry finite ts/dur/pid/tid, and no span left open.
+/// CI runs this against the sample trace artifact.
+fn trace_check(path: &str) -> ExitCode {
+    let doc = match load(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("stats: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_chrome_trace(&doc) {
+        Ok(stats) => {
+            println!(
+                "{path}: ok — {} events ({} host spans, {} sim intervals)",
+                stats.events, stats.host_spans, stats.sim_intervals
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("stats: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn fmt(v: f64) -> String {
@@ -398,8 +478,9 @@ fn main() -> ExitCode {
         Some("dump") => dump(&args[1..]),
         Some("diff") if args.len() == 3 => diff(&args[1], &args[2]),
         Some("diff") => usage_error("diff takes exactly two report paths"),
-        Some("bench-diff") if args.len() == 3 => bench_diff(&args[1], &args[2]),
-        Some("bench-diff") => usage_error("bench-diff takes exactly two snapshot paths"),
+        Some("bench-diff") => bench_diff(&args[1..]),
+        Some("trace-check") if args.len() == 2 => trace_check(&args[1]),
+        Some("trace-check") => usage_error("trace-check takes exactly one trace path"),
         Some("store") => store_cmd(&args[1..]),
         _ => usage_error("expected a subcommand"),
     }

@@ -8,10 +8,12 @@
 //!
 //! With `--json`, a machine-readable `omega-validate-report/v1` document
 //! goes to stdout (the human-readable lines move to stderr); the exit code
-//! contract is unchanged.
+//! contract is unchanged. `--profile`/`--profile-out`/`--trace` enable the
+//! host self-profiling layer (output to stderr/files only).
 
 use omega_bench::json::Json;
 use omega_bench::session::{AlgoKey, MachineKind, Session};
+use omega_bench::ObsOptions;
 use omega_graph::datasets::{Dataset, DatasetScale};
 use std::process::ExitCode;
 
@@ -22,7 +24,23 @@ struct Check {
 }
 
 fn main() -> ExitCode {
-    let json_mode = std::env::args().any(|a| a == "--json");
+    let mut json_mode = false;
+    let mut obs = ObsOptions::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match obs.try_parse_flag(&arg, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("validate: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        if arg == "--json" {
+            json_mode = true;
+        }
+    }
+    obs.install();
     let mut s = Session::new(DatasetScale::Tiny).verbose(false);
     let mut checks: Vec<Check> = Vec::new();
 
@@ -162,6 +180,10 @@ fn main() -> ExitCode {
         eprintln!("\n{summary}");
     } else {
         println!("\n{summary}");
+    }
+    if let Err(e) = obs.finish() {
+        eprintln!("validate: cannot write obs output: {e}");
+        return ExitCode::FAILURE;
     }
     if failed == 0 {
         ExitCode::SUCCESS

@@ -16,6 +16,7 @@ pub mod audit;
 pub mod bench_report;
 pub mod json;
 pub mod microbench;
+pub mod obs_report;
 pub mod report_json;
 pub mod session;
 pub mod store;
@@ -23,10 +24,14 @@ pub mod table;
 
 pub use audit::{FuzzCase, FuzzOutcome, Fuzzer};
 pub use bench_report::{
-    bench_delta_table, bench_report_from_json, bench_report_to_json, BenchReport, SweepMeasurement,
-    BENCH_REPORT_SCHEMA,
+    bench_delta_table, bench_report_from_json, bench_report_to_json, sweep_regressions,
+    BenchReport, SweepMeasurement, BENCH_REPORT_SCHEMA,
 };
 pub use json::Json;
+pub use obs_report::{
+    check_chrome_trace, chrome_trace_to_json, profile_report_to_json, profile_table, ObsOptions,
+    PROFILE_REPORT_SCHEMA,
+};
 pub use report_json::run_report_to_json;
 pub use session::{ExperimentSpec, MachineKind, Session};
 pub use store::ExperimentStore;

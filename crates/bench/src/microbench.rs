@@ -47,6 +47,10 @@ pub struct BenchResult {
     pub max_ns: f64,
     /// Time-weighted mean ns/iter (total elapsed / total iters).
     pub mean_ns: f64,
+    /// Sample standard deviation of the per-batch ns/iter values (n−1
+    /// denominator; 0 with fewer than two samples) — the run-to-run noise
+    /// scale profile deltas should be judged against.
+    pub stddev_ns: f64,
 }
 
 /// Top-level benchmark driver (API-compatible subset of Criterion's).
@@ -222,6 +226,7 @@ fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) -> Benc
             median_ns: 0.0,
             max_ns: 0.0,
             mean_ns: 0.0,
+            stddev_ns: 0.0,
         };
     }
     let mut sorted = b.samples.clone();
@@ -234,8 +239,19 @@ fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) -> Benc
         (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
     };
     let mean = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let stddev = if sorted.len() < 2 {
+        0.0
+    } else {
+        let sample_mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let var = sorted
+            .iter()
+            .map(|x| (x - sample_mean) * (x - sample_mean))
+            .sum::<f64>()
+            / (sorted.len() - 1) as f64;
+        var.sqrt()
+    };
     println!(
-        "{label:<40} min {min:>12.1}  med {median:>12.1}  max {max:>12.1} ns/iter  ({} samples, {} iters)",
+        "{label:<40} min {min:>12.1}  med {median:>12.1}  max {max:>12.1}  sd {stddev:>10.1} ns/iter  ({} samples, {} iters)",
         sorted.len(),
         b.iters
     );
@@ -247,6 +263,7 @@ fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) -> Benc
         median_ns: median,
         max_ns: max,
         mean_ns: mean,
+        stddev_ns: stddev,
     }
 }
 
@@ -292,6 +309,11 @@ mod tests {
         for r in &results {
             assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns, "{r:?}");
             assert!(r.iters > 0);
+            // A sample stddev exists and is bounded by the observed range.
+            assert!(
+                r.stddev_ns >= 0.0 && r.stddev_ns <= r.max_ns - r.min_ns,
+                "{r:?}"
+            );
         }
         // Drained: a second take is empty.
         assert!(c.take_results().is_empty());

@@ -1,0 +1,458 @@
+//! Rendering for the host-side observability layer (`omega_sim::obs`).
+//!
+//! Three consumers share one [`ObsDump`]:
+//!
+//! * [`profile_report_to_json`] — the machine-readable
+//!   `omega-profile-report/v1` document behind `--profile-out`;
+//! * [`profile_table`] — the human text table behind `--profile`
+//!   (printed to **stderr**, so figure stdout stays byte-stable);
+//! * [`chrome_trace_to_json`] — the Chrome Trace Event / Perfetto
+//!   timeline behind `--trace`, carrying host spans (µs) and
+//!   simulated-time intervals (cycles rendered as µs on separate trace
+//!   processes).
+//!
+//! [`check_chrome_trace`] validates an exported trace (used by
+//! `stats trace-check` and CI) and [`ObsOptions`] is the shared CLI
+//! surface every bin mounts.
+
+use crate::json::Json;
+use crate::table::Table;
+use omega_sim::obs::{self, ObsDump};
+
+/// Schema tag of the profile report document.
+pub const PROFILE_REPORT_SCHEMA: &str = "omega-profile-report/v1";
+
+/// Serialises a drained [`ObsDump`] as `omega-profile-report/v1`.
+/// Aggregates are ordered by descending self time — the profile's
+/// headline ranking.
+pub fn profile_report_to_json(dump: &ObsDump) -> Json {
+    let mut doc = Json::obj();
+    doc.set("schema", Json::Str(PROFILE_REPORT_SCHEMA.into()));
+    doc.set("wall_ns", Json::Num(dump.wall_ns as f64));
+    doc.set("coverage", Json::Num(dump.coverage()));
+    doc.set("spans_opened", Json::Num(dump.opened as f64));
+    doc.set("spans_closed", Json::Num(dump.closed as f64));
+    doc.set("open_spans", Json::Num(dump.open_spans() as f64));
+    doc.set("spans_dropped", Json::Num(dump.spans_dropped as f64));
+    doc.set("sim_dropped", Json::Num(dump.sim_dropped as f64));
+    let mut aggs = dump.aggregates.clone();
+    aggs.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+    let spans = aggs
+        .iter()
+        .map(|a| {
+            let mut s = Json::obj();
+            s.set("name", Json::Str(a.name.clone()));
+            s.set("count", Json::Num(a.count as f64));
+            s.set("total_ns", Json::Num(a.total_ns as f64));
+            s.set("self_ns", Json::Num(a.self_ns as f64));
+            s.set("min_ns", Json::Num(a.min_ns as f64));
+            s.set("max_ns", Json::Num(a.max_ns as f64));
+            s
+        })
+        .collect();
+    doc.set("spans", Json::Arr(spans));
+    let mut counters = Json::obj();
+    for (name, v) in &dump.counters {
+        counters.set(name, Json::Num(*v as f64));
+    }
+    doc.set("counters", counters);
+    doc.set("sim_sessions", Json::Num(dump.sim_sessions.len() as f64));
+    doc.set("sim_tracks", Json::Num(dump.sim_tracks.len() as f64));
+    doc
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// Renders the human-readable profile table, ranked by self time, plus a
+/// coverage footer.
+pub fn profile_table(dump: &ObsDump) -> String {
+    let mut aggs = dump.aggregates.clone();
+    aggs.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+    let mut t = Table::new([
+        "span", "count", "total ms", "self ms", "self %", "min ms", "max ms",
+    ]);
+    let wall = dump.wall_ns.max(1) as f64;
+    for a in &aggs {
+        t.row([
+            a.name.clone(),
+            a.count.to_string(),
+            ms(a.total_ns),
+            ms(a.self_ns),
+            format!("{:.1}", a.self_ns as f64 / wall * 100.0),
+            ms(a.min_ns),
+            ms(a.max_ns),
+        ]);
+    }
+    let mut out = String::from("[profile] host spans (self-time ranked)\n");
+    out.push_str(&t.render());
+    for (name, v) in &dump.counters {
+        out.push_str(&format!("counter {name} = {v}\n"));
+    }
+    out.push_str(&format!(
+        "wall {} ms, coverage {:.1}% of wall in root spans, {} spans ({} open), {} sim sessions\n",
+        ms(dump.wall_ns),
+        dump.coverage() * 100.0,
+        dump.closed,
+        dump.open_spans(),
+        dump.sim_sessions.len(),
+    ));
+    out
+}
+
+/// Serialises a drained [`ObsDump`] as a Chrome Trace Event JSON object
+/// (the Perfetto-loadable `{"traceEvents": [...]}` form).
+///
+/// Host spans land on pid 1 with their real thread ids, timestamps in
+/// microseconds of host wall-clock. Each simulated session becomes its
+/// own process (pid `1000 + session id`) whose tracks (DRAM channels,
+/// NoC ports, cores) are threads; simulated *cycles* are emitted in the
+/// `ts`/`dur` fields directly, so one viewer shows both domains without
+/// pretending they share a clock.
+pub fn chrome_trace_to_json(dump: &ObsDump) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    let meta = |pid: u64, tid: u64, what: &str, name: &str| {
+        let mut e = Json::obj();
+        e.set("name", Json::Str(what.into()));
+        e.set("ph", Json::Str("M".into()));
+        e.set("pid", Json::Num(pid as f64));
+        e.set("tid", Json::Num(tid as f64));
+        let mut args = Json::obj();
+        args.set("name", Json::Str(name.into()));
+        e.set("args", args);
+        e
+    };
+    events.push(meta(1, 0, "process_name", "host"));
+    let mut tids: Vec<u64> = dump.spans.iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for &t in &tids {
+        let label = if t == dump.main_tid {
+            "main".to_string()
+        } else {
+            format!("thread{t}")
+        };
+        events.push(meta(1, t, "thread_name", &label));
+    }
+    for s in &dump.spans {
+        let mut e = Json::obj();
+        e.set("name", Json::Str(s.name.clone()));
+        e.set("cat", Json::Str("host".into()));
+        e.set("ph", Json::Str("X".into()));
+        e.set("pid", Json::Num(1.0));
+        e.set("tid", Json::Num(s.tid as f64));
+        e.set("ts", Json::Num(s.start_ns as f64 / 1e3));
+        e.set("dur", Json::Num(s.dur_ns as f64 / 1e3));
+        events.push(e);
+    }
+    // Simulated sessions: one process per replay, one thread per track.
+    for (i, label) in dump.sim_sessions.iter().enumerate() {
+        let session = i as u64 + 1;
+        if dump.sim_tracks.iter().any(|t| t.session == session) {
+            events.push(meta(
+                1000 + session,
+                0,
+                "process_name",
+                &format!("sim:{label}"),
+            ));
+        }
+    }
+    for (ti, track) in dump.sim_tracks.iter().enumerate() {
+        let pid = 1000 + track.session;
+        let tid = ti as u64 + 1;
+        events.push(meta(pid, tid, "thread_name", &track.name));
+        for &(start, end) in &track.intervals {
+            let mut e = Json::obj();
+            e.set("name", Json::Str(track.name.clone()));
+            e.set("cat", Json::Str("sim".into()));
+            e.set("ph", Json::Str("X".into()));
+            e.set("pid", Json::Num(pid as f64));
+            e.set("tid", Json::Num(tid as f64));
+            e.set("ts", Json::Num(start as f64));
+            e.set("dur", Json::Num((end - start) as f64));
+            events.push(e);
+        }
+    }
+    let mut doc = Json::obj();
+    doc.set("traceEvents", Json::Arr(events));
+    doc.set("displayTimeUnit", Json::Str("ms".into()));
+    let mut other = Json::obj();
+    other.set("open_spans", Json::Num(dump.open_spans() as f64));
+    other.set("spans_dropped", Json::Num(dump.spans_dropped as f64));
+    other.set("sim_dropped", Json::Num(dump.sim_dropped as f64));
+    other.set("coverage", Json::Num(dump.coverage()));
+    doc.set("otherData", other);
+    doc
+}
+
+/// Summary counts from a validated Chrome trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// All events, metadata included.
+    pub events: usize,
+    /// Host-side complete (`ph == "X"`, `cat == "host"`) spans.
+    pub host_spans: usize,
+    /// Simulated-time complete (`cat == "sim"`) intervals.
+    pub sim_intervals: usize,
+}
+
+/// Validates a parsed Chrome Trace Event document: `traceEvents` must be
+/// an array of well-formed events (every `"X"` event carries numeric
+/// `ts`/`dur >= 0`, `pid`, and `tid`), and the embedded span balance
+/// (`otherData.open_spans`) must be zero.
+pub fn check_chrome_trace(doc: &Json) -> Result<TraceStats, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing traceEvents array")?;
+    let mut stats = TraceStats {
+        events: events.len(),
+        ..Default::default()
+    };
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        e.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        if ph == "X" {
+            for field in ["ts", "dur", "pid", "tid"] {
+                let v = e
+                    .get(field)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: missing numeric {field}"))?;
+                if !v.is_finite() || (field == "dur" && v < 0.0) {
+                    return Err(format!("event {i}: bad {field} = {v}"));
+                }
+            }
+            match e.get("cat").and_then(Json::as_str) {
+                Some("host") => stats.host_spans += 1,
+                Some("sim") => stats.sim_intervals += 1,
+                _ => {}
+            }
+        }
+    }
+    if let Some(open) = doc
+        .get("otherData")
+        .and_then(|o| o.get("open_spans"))
+        .and_then(Json::as_u64)
+    {
+        if open != 0 {
+            return Err(format!("{open} spans were never closed"));
+        }
+    }
+    Ok(stats)
+}
+
+/// The shared `--profile` / `--profile-out` / `--trace` CLI surface.
+/// Mount with [`ObsOptions::try_parse_flag`] inside an argument loop,
+/// [`ObsOptions::install`] before the workload, and
+/// [`ObsOptions::finish`] at exit.
+#[derive(Debug, Clone, Default)]
+pub struct ObsOptions {
+    /// Print the self-time profile table to stderr at exit.
+    pub profile: bool,
+    /// Write the `omega-profile-report/v1` JSON here at exit.
+    pub profile_out: Option<String>,
+    /// Write a Chrome Trace Event JSON timeline here at exit.
+    pub trace_out: Option<String>,
+}
+
+impl ObsOptions {
+    /// Consumes `arg` if it is one of the obs flags (pulling a value from
+    /// `rest` where needed). Returns `Ok(true)` when consumed, `Ok(false)`
+    /// when the flag is not ours, `Err` on a missing value.
+    pub fn try_parse_flag(
+        &mut self,
+        arg: &str,
+        rest: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--profile" => {
+                self.profile = true;
+                Ok(true)
+            }
+            "--profile-out" => {
+                self.profile_out = Some(rest.next().ok_or("--profile-out needs a path")?);
+                Ok(true)
+            }
+            "--trace" => {
+                self.trace_out = Some(rest.next().ok_or("--trace needs a path")?);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Whether any obs output was requested.
+    pub fn active(&self) -> bool {
+        self.profile || self.profile_out.is_some() || self.trace_out.is_some()
+    }
+
+    /// Enables the global obs layer to match the requested outputs.
+    /// No-op when nothing was requested — disabled runs stay
+    /// bit-identical.
+    pub fn install(&self) {
+        if self.active() {
+            obs::enable(true, self.trace_out.is_some());
+        }
+    }
+
+    /// Drains the obs registry and emits every requested output. The
+    /// table goes to stderr; JSON documents go to their files.
+    pub fn finish(&self) -> std::io::Result<()> {
+        if !self.active() {
+            return Ok(());
+        }
+        let dump = obs::drain();
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, chrome_trace_to_json(&dump).dump())?;
+            eprintln!("[obs] trace written to {path}");
+        }
+        if let Some(path) = &self.profile_out {
+            std::fs::write(path, profile_report_to_json(&dump).dump())?;
+            eprintln!("[obs] profile report written to {path}");
+        }
+        if self.profile {
+            eprint!("{}", profile_table(&dump));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_sim::obs::{SimTrack, SpanAgg, SpanRecord};
+
+    fn sample_dump() -> ObsDump {
+        ObsDump {
+            wall_ns: 10_000_000,
+            main_tid: 1,
+            opened: 3,
+            closed: 3,
+            root_ns_main: 9_500_000,
+            aggregates: vec![
+                SpanAgg {
+                    name: "runner.replay".into(),
+                    count: 2,
+                    total_ns: 6_000_000,
+                    self_ns: 5_500_000,
+                    min_ns: 2_500_000,
+                    max_ns: 3_500_000,
+                },
+                SpanAgg {
+                    name: "store.read".into(),
+                    count: 1,
+                    total_ns: 500_000,
+                    self_ns: 500_000,
+                    min_ns: 500_000,
+                    max_ns: 500_000,
+                },
+            ],
+            counters: vec![("store.bytes".into(), 4096)],
+            spans: vec![
+                SpanRecord {
+                    name: "runner.replay".into(),
+                    tid: 1,
+                    start_ns: 0,
+                    dur_ns: 3_500_000,
+                    depth: 0,
+                },
+                SpanRecord {
+                    name: "store.read".into(),
+                    tid: 1,
+                    start_ns: 100,
+                    dur_ns: 500_000,
+                    depth: 1,
+                },
+            ],
+            spans_dropped: 0,
+            sim_sessions: vec!["omega".into()],
+            sim_tracks: vec![SimTrack {
+                session: 1,
+                name: "dram.ch0".into(),
+                intervals: vec![(100, 200), (300, 450)],
+            }],
+            sim_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn profile_report_has_schema_and_ranked_spans() {
+        let j = profile_report_to_json(&sample_dump());
+        assert_eq!(
+            j.get("schema").and_then(Json::as_str),
+            Some(PROFILE_REPORT_SCHEMA)
+        );
+        let spans = j.get("spans").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            spans[0].get("name").and_then(Json::as_str),
+            Some("runner.replay")
+        );
+        // Round-trips through the parser.
+        let back = Json::parse(&j.dump()).unwrap();
+        assert_eq!(back, j);
+    }
+
+    #[test]
+    fn table_mentions_every_span_and_coverage() {
+        let s = profile_table(&sample_dump());
+        assert!(s.contains("runner.replay"));
+        assert!(s.contains("store.read"));
+        assert!(s.contains("coverage 95.0%"));
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_and_validates() {
+        let doc = chrome_trace_to_json(&sample_dump());
+        let text = doc.dump();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        let stats = check_chrome_trace(&back).unwrap();
+        assert_eq!(stats.host_spans, 2);
+        assert_eq!(stats.sim_intervals, 2);
+        assert!(stats.events >= 7); // 2 host + 2 sim + ≥3 metadata
+    }
+
+    #[test]
+    fn check_rejects_unbalanced_and_malformed_traces() {
+        let mut dump = sample_dump();
+        dump.closed = 2; // one span never closed
+        let doc = chrome_trace_to_json(&dump);
+        assert!(check_chrome_trace(&doc)
+            .unwrap_err()
+            .contains("never closed"));
+
+        let mut bad = Json::obj();
+        bad.set("traceEvents", Json::Str("nope".into()));
+        assert!(check_chrome_trace(&bad).is_err());
+
+        let mut ev = Json::obj();
+        ev.set("name", Json::Str("x".into()));
+        ev.set("ph", Json::Str("X".into()));
+        let mut doc = Json::obj();
+        doc.set("traceEvents", Json::Arr(vec![ev]));
+        assert!(check_chrome_trace(&doc).unwrap_err().contains("ts"));
+    }
+
+    #[test]
+    fn obs_options_parse_and_inactive_finish_is_noop() {
+        let mut o = ObsOptions::default();
+        let mut rest = vec!["out.json".to_string()].into_iter();
+        assert!(o.try_parse_flag("--profile", &mut rest).unwrap());
+        assert!(o.try_parse_flag("--trace", &mut rest).unwrap());
+        assert!(!o.try_parse_flag("--tiny", &mut rest).unwrap());
+        assert!(o.profile);
+        assert_eq!(o.trace_out.as_deref(), Some("out.json"));
+        let mut empty = std::iter::empty();
+        assert!(ObsOptions::default()
+            .try_parse_flag("--profile-out", &mut empty)
+            .is_err());
+        // Inactive finish touches nothing.
+        assert!(ObsOptions::default().finish().is_ok());
+    }
+}

@@ -7,6 +7,7 @@ use omega_graph::datasets::{Dataset, DatasetScale};
 use omega_graph::CsrGraph;
 use omega_ligra::algorithms::Algo;
 use omega_ligra::ExecConfig;
+use omega_sim::obs;
 use omega_sim::telemetry::TelemetryConfig;
 use std::collections::HashMap;
 use std::path::Path;
@@ -436,6 +437,7 @@ impl Session {
     /// changes nothing but wall-clock time. Fresh results are persisted
     /// from the worker threads (the store is `Sync`; writes are atomic).
     pub fn prefetch<S: Into<ExperimentSpec> + Copy>(&mut self, work: &[S]) {
+        let _span = obs::span("session.prefetch");
         let candidates: Vec<ExperimentSpec> = {
             let mut seen = std::collections::HashSet::new();
             work.iter()
@@ -452,8 +454,11 @@ impl Session {
         }
         // Build the needed graphs first (cached, sequential — cheap next to
         // the simulations).
-        for spec in &pending {
-            self.graph(spec.dataset);
+        {
+            let _build = obs::span("session.graph_build");
+            for spec in &pending {
+                self.graph(spec.dataset);
+            }
         }
         // One group per (dataset, algorithm), in first-seen order: the
         // functional trace is shared by all of the group's machines.
@@ -482,6 +487,8 @@ impl Session {
                     let Some(((d, a), machines)) = groups.get(i) else {
                         break;
                     };
+                    let _group =
+                        obs::span_owned(format!("session.group:{}/{}", d.code(), a.name()));
                     let g = &graphs[d];
                     let algo = a.algo(g);
                     if verbose {

@@ -31,6 +31,7 @@ use crate::json::Json;
 use omega_core::config::SystemConfig;
 use omega_core::runner::{ExecConfigSer, RunReport};
 use omega_sim::fingerprint::Fnv64;
+use omega_sim::obs;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -234,6 +235,7 @@ impl ExperimentStore {
     /// Every failure mode — absent file, truncation, bit-flips, schema or
     /// kind mismatch — returns `None`.
     fn load_entry(&self, fingerprint: u64, kind: &str) -> Option<Json> {
+        let _span = obs::span("store.read");
         let text = match fs::read_to_string(self.entry_path(fingerprint)) {
             Ok(t) => t,
             Err(_) => {
@@ -263,6 +265,7 @@ impl ExperimentStore {
         label: &str,
         payload: Json,
     ) -> io::Result<()> {
+        let _span = obs::span("store.write");
         let mut doc = Json::obj();
         doc.set("schema", Json::Str(STORE_ENTRY_SCHEMA.into()));
         doc.set("version", Json::Num(STORE_FORMAT_VERSION as f64));

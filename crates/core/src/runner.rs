@@ -23,6 +23,7 @@ use omega_ligra::{Ctx, ExecConfig};
 use omega_sim::audit::{self, AuditReport};
 use omega_sim::fingerprint::{Canonicalize, Fnv64};
 use omega_sim::hierarchy::CacheHierarchy;
+use omega_sim::obs;
 use omega_sim::stats::MemStats;
 use omega_sim::telemetry::{TelemetryConfig, TelemetryReport};
 use omega_sim::{engine, EngineReport, MemorySystem};
@@ -351,6 +352,7 @@ pub fn timing_replay_count() -> u64 {
 /// Runs `algo` on `g` functionally, collecting the trace (shared step of
 /// every experiment). Returns `(checksum, raw trace, meta)`.
 pub fn trace_algorithm(g: &CsrGraph, algo: Algo, exec: &ExecConfig) -> (f64, RawTrace, TraceMeta) {
+    let _span = obs::span("runner.trace");
     FUNCTIONAL_TRACES.fetch_add(1, Ordering::Relaxed);
     let mut tracer = CollectingTracer::new(exec.n_cores);
     let mut ctx = Ctx::new(*exec, &mut tracer);
@@ -428,6 +430,11 @@ fn replay_impl(
     mut audit: Option<&mut AuditReport>,
     parallelism: usize,
 ) -> (EngineReport, MemStats, u32, Option<TelemetryReport>) {
+    let _span = obs::span("runner.replay");
+    // In trace mode, scope a simulated session so the memory models built
+    // below capture their cycle-domain intervals under this machine's
+    // label. Inert (one branch) otherwise.
+    let _sim = obs::sim_session(system.label());
     TIMING_REPLAYS.fetch_add(1, Ordering::Relaxed);
     let layout = Layout::new(meta);
     // `parallelism == 1` is the exact serial engine (a multi-core

@@ -16,6 +16,7 @@
 
 use crate::audit::AuditReport;
 use crate::config::DramConfig;
+use crate::obs::IntervalRecorder;
 use crate::stats::DramStats;
 use crate::telemetry::LatencyHistogram;
 use crate::{Cycle, LINE_BYTES};
@@ -80,6 +81,9 @@ pub struct DramModel {
     // Per-access queue-delay histogram; None (no per-access cost beyond
     // one branch) unless telemetry is enabled.
     queue_histogram: Option<Box<LatencyHistogram>>,
+    // Simulated per-channel busy windows for the obs timeline; None (one
+    // branch per access) unless a trace session is active at construction.
+    busy_windows: Option<Box<IntervalRecorder>>,
 }
 
 impl DramModel {
@@ -90,9 +94,18 @@ impl DramModel {
             channel_last: vec![0; cfg.channels],
             channel_busy: vec![0; cfg.channels],
             open_row: vec![None; cfg.channels],
+            busy_windows: IntervalRecorder::if_active("dram.ch", cfg.channels),
             cfg,
             stats: DramStats::default(),
             queue_histogram: None,
+        }
+    }
+
+    /// Flushes recorded simulated busy windows into the obs registry.
+    /// No-op (one branch) when no trace session was active at build time.
+    pub fn flush_obs(&mut self) {
+        if let Some(w) = self.busy_windows.as_deref_mut() {
+            w.flush();
         }
     }
 
@@ -199,7 +212,13 @@ impl DramModel {
             "per-channel occupancy must reconcile with the busy counter"
         );
         // Wait behind the queued work, then pay row access + transfer.
-        now + ahead + latency + occupancy
+        let completion = now + ahead + latency + occupancy;
+        if let Some(w) = self.busy_windows.as_deref_mut() {
+            // The transfer occupies the channel for the final `occupancy`
+            // cycles of the access; back-to-back windows coalesce.
+            w.record(ch, completion - occupancy, completion);
+        }
+        completion
     }
 
     /// Activity statistics so far.

@@ -173,7 +173,12 @@ impl OpSource for StagedSource {
             if self.done[core] {
                 return None;
             }
-            match self.rx[self.owner[core]].recv() {
+            let received = {
+                // Host time the timing loop spends blocked on staging.
+                let _wait = crate::obs::span("engine.stage_wait");
+                self.rx[self.owner[core]].recv()
+            };
+            match received {
                 Ok((c, chunk)) => {
                     if chunk.len() < STAGE_CHUNK {
                         self.done[c] = true;
@@ -201,6 +206,7 @@ impl OpSource for StagedSource {
 /// [`STAGE_CHUNK`]-sized chunk each per pass, until every stream ends. The
 /// short final chunk doubles as the end-of-stream marker.
 fn stage_worker<C: CoreStream>(mut shard: Vec<(usize, C)>, tx: SyncSender<(usize, Vec<CoreOp>)>) {
+    let _span = crate::obs::span("engine.stage_lower");
     while !shard.is_empty() {
         let mut k = 0;
         while k < shard.len() {
@@ -447,6 +453,10 @@ pub fn run_source<S: OpSource, M: MemorySystem + ?Sized>(
     let n = source.n_cores();
     let mut cores: Vec<CoreState> = (0..n).map(|_| CoreState::new()).collect();
     let max_outstanding = cfg.core.max_outstanding.max(1);
+    let _span = crate::obs::span("engine.timing_loop");
+    // Per-core simulated epoch activity (trace mode only): each lane holds
+    // the cycle its core's current epoch started at.
+    let mut epochs = crate::obs::IntervalRecorder::if_active("core", n).map(|r| (r, vec![0u64; n]));
 
     loop {
         // Pick the runnable core with the smallest local time.
@@ -472,6 +482,14 @@ pub fn run_source<S: OpSource, M: MemorySystem + ?Sized>(
                 .map(|c| c.time)
                 .max()
                 .expect("at least one waiting core");
+            if let Some((rec, start)) = epochs.as_mut() {
+                for (ci, c) in cores.iter().enumerate() {
+                    if c.at_barrier {
+                        rec.record(ci, start[ci], c.time);
+                        start[ci] = release;
+                    }
+                }
+            }
             for c in cores.iter_mut().filter(|c| c.at_barrier) {
                 c.report.barrier_cycles += release - c.time;
                 c.time = release;
@@ -486,6 +504,9 @@ pub fn run_source<S: OpSource, M: MemorySystem + ?Sized>(
             core.drain_all();
             core.finished = true;
             core.report.finish_time = core.time;
+            if let Some((rec, start)) = epochs.as_mut() {
+                rec.record(i, start[i], core.time);
+            }
             debug_assert_eq!(
                 core.report.attributed_cycles(),
                 core.report.finish_time,
@@ -540,6 +561,9 @@ pub fn run_source<S: OpSource, M: MemorySystem + ?Sized>(
         }
     }
 
+    if let Some((mut rec, _)) = epochs {
+        rec.flush();
+    }
     let total = cores
         .iter()
         .map(|c| c.report.finish_time)

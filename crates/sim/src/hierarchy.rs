@@ -477,6 +477,13 @@ impl MemorySystem for CacheHierarchy {
     }
 
     fn finish(&mut self, now: Cycle) {
+        // Hand any simulated obs intervals (DRAM busy windows, NoC
+        // contention bursts) to the global registry; one branch each when
+        // no trace session was active. OMEGA and the locked-cache machine
+        // both route their `finish` through here, so this covers every
+        // machine kind.
+        self.dram.flush_obs();
+        self.noc.flush_obs();
         if self.telemetry.as_ref().is_some_and(|t| t.sampler.is_some()) {
             let cumulative = self.stats();
             if let Some(s) = self

@@ -58,6 +58,7 @@ pub mod fingerprint;
 pub mod hierarchy;
 pub mod mem;
 pub mod noc;
+pub mod obs;
 pub mod stats;
 pub mod telemetry;
 

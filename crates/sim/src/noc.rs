@@ -25,6 +25,7 @@
 
 use crate::audit::AuditReport;
 use crate::config::NocConfig;
+use crate::obs::IntervalRecorder;
 use crate::stats::NocStats;
 use crate::telemetry::LatencyHistogram;
 use crate::Cycle;
@@ -60,6 +61,10 @@ pub struct Crossbar {
     // Per-packet contention histogram; None (one branch per packet)
     // unless telemetry is enabled.
     contention_histogram: Option<Box<LatencyHistogram>>,
+    // Simulated per-port contention bursts for the obs timeline; None
+    // (one branch per packet) unless a trace session is active at
+    // construction.
+    contention_bursts: Option<Box<IntervalRecorder>>,
 }
 
 impl Crossbar {
@@ -73,6 +78,15 @@ impl Crossbar {
             stats: NocStats::default(),
             accounted_packets: 0,
             contention_histogram: None,
+            contention_bursts: IntervalRecorder::if_active("noc.port", ports),
+        }
+    }
+
+    /// Flushes recorded simulated contention bursts into the obs registry.
+    /// No-op (one branch) when no trace session was active at build time.
+    pub fn flush_obs(&mut self) {
+        if let Some(b) = self.contention_bursts.as_deref_mut() {
+            b.flush();
         }
     }
 
@@ -120,6 +134,13 @@ impl Crossbar {
         self.stats.contention_cycles += contention;
         if let Some(h) = self.contention_histogram.as_deref_mut() {
             h.record(contention);
+        }
+        if let Some(b) = self.contention_bursts.as_deref_mut() {
+            if contention > 0 {
+                // The packet queues from its arrival until the backlog
+                // ahead of it drains; adjacent bursts coalesce.
+                b.record(dst, at, at + contention);
+            }
         }
         self.port_busy_cycles[dst] += ser;
         self.accounted_packets += 1;

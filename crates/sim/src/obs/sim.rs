@@ -1,0 +1,145 @@
+//! Simulated-time interval capture.
+//!
+//! The timing models (engine epochs, DRAM channels, NoC ports) run in
+//! *cycles*, not host time. In trace mode each replay installs a
+//! thread-local **sim session** ([`sim_session`]); component models then
+//! allocate an [`IntervalRecorder`] at construction — but only when a
+//! session is active on the constructing thread, so unrelated threads
+//! (and disabled runs) pay one `Option` branch per event. Recorders
+//! coalesce touching intervals per lane (channel / port / core) so a
+//! million back-to-back busy cycles become one trace event, and flush
+//! whole tracks into the global registry at `finish` time.
+
+use super::{emit_sim_track, new_sim_session, trace_enabled};
+use std::cell::Cell;
+
+thread_local! {
+    static SESSION: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A named group of simulated-time intervals, all in cycles, belonging to
+/// one sim session (one replay).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimTrack {
+    /// 1-based session id; labels live in `ObsDump::sim_sessions`.
+    pub session: u64,
+    /// Track name, e.g. `dram.ch3`, `noc.port0`, `core2`.
+    pub name: String,
+    /// Closed `[start, end]` cycle intervals.
+    pub intervals: Vec<(u64, u64)>,
+}
+
+/// RAII guard scoping a simulated replay session on the current thread.
+/// Restores the previously active session (if any) on drop.
+#[derive(Debug)]
+pub struct SimSession {
+    prev: u64,
+    active: bool,
+}
+
+/// Opens a sim session labelled `label` (e.g. `sd/pagerank omega`) on the
+/// current thread. Inert unless tracing is enabled.
+pub fn sim_session(label: &str) -> SimSession {
+    if !trace_enabled() {
+        return SimSession {
+            prev: 0,
+            active: false,
+        };
+    }
+    let id = new_sim_session(label);
+    let prev = SESSION.with(|s| s.replace(id));
+    SimSession { prev, active: true }
+}
+
+impl Drop for SimSession {
+    fn drop(&mut self) {
+        if self.active {
+            SESSION.with(|s| s.set(self.prev));
+        }
+    }
+}
+
+fn current_session() -> u64 {
+    if !trace_enabled() {
+        return 0;
+    }
+    SESSION.with(Cell::get)
+}
+
+/// Whether a sim session is active on this thread (and tracing is on).
+#[inline]
+pub fn sim_active() -> bool {
+    current_session() != 0
+}
+
+#[derive(Debug, Default, Clone)]
+struct Lane {
+    open: Option<(u64, u64)>,
+    closed: Vec<(u64, u64)>,
+}
+
+/// Per-lane coalescing collector for simulated-time intervals. Lanes map
+/// to DRAM channels, NoC ports, or cores; touching or overlapping
+/// intervals within a lane merge into one.
+#[derive(Debug, Clone)]
+pub struct IntervalRecorder {
+    session: u64,
+    prefix: &'static str,
+    lanes: Vec<Lane>,
+}
+
+impl IntervalRecorder {
+    /// Builds a recorder bound to the current thread's sim session, or
+    /// `None` when no session is active — the disabled path's one branch
+    /// then lives at each record site via `Option`.
+    pub fn if_active(prefix: &'static str, lanes: usize) -> Option<Box<Self>> {
+        let session = current_session();
+        if session == 0 {
+            return None;
+        }
+        Some(Box::new(IntervalRecorder {
+            session,
+            prefix,
+            lanes: vec![Lane::default(); lanes],
+        }))
+    }
+
+    /// Records `[start, end]` cycles on `lane`, merging with the open
+    /// interval when they touch or overlap. Out-of-order earlier
+    /// intervals (laggard cores) are kept unmerged.
+    pub fn record(&mut self, lane: usize, start: u64, end: u64) {
+        let l = &mut self.lanes[lane];
+        match &mut l.open {
+            None => l.open = Some((start, end.max(start))),
+            Some(cur) => {
+                if start > cur.1 {
+                    l.closed.push(*cur);
+                    *cur = (start, end.max(start));
+                } else if end < cur.0 {
+                    l.closed.push((start, end));
+                } else {
+                    cur.0 = cur.0.min(start);
+                    cur.1 = cur.1.max(end);
+                }
+            }
+        }
+    }
+
+    /// Moves every lane's intervals into the global registry as
+    /// `<prefix><lane>` tracks. Idempotent: lanes are left empty.
+    pub fn flush(&mut self) {
+        for (i, l) in self.lanes.iter_mut().enumerate() {
+            if let Some(cur) = l.open.take() {
+                l.closed.push(cur);
+            }
+            if l.closed.is_empty() {
+                continue;
+            }
+            emit_sim_track(
+                self.session,
+                format!("{}{}", self.prefix, i),
+                std::mem::take(&mut l.closed),
+            );
+        }
+    }
+}

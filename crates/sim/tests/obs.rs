@@ -1,0 +1,218 @@
+//! Behavioural tests of the host-observability layer (`omega_sim::obs`).
+//!
+//! The obs registry is process-global, so every test here takes the same
+//! local mutex: tests still run on multiple harness threads, but enable /
+//! drain pairs never interleave. This integration binary is a separate
+//! process from all other test binaries, so nothing outside this file can
+//! observe (or perturb) the global state toggled here.
+
+use omega_sim::obs;
+use std::sync::Mutex;
+
+/// Serialises every test in this binary around the global obs registry.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn disabled_layer_is_inert() {
+    let _g = locked();
+    assert!(!obs::enabled());
+    {
+        let _a = obs::span("test.inert");
+        let _b = obs::span_owned("test.inert_owned".into());
+        obs::counter_add("test.inert_counter", 7);
+    }
+    let dump = obs::drain();
+    assert_eq!(dump.opened, 0);
+    assert_eq!(dump.closed, 0);
+    assert!(dump.aggregates.is_empty());
+    assert!(dump.counters.is_empty());
+    assert!(dump.spans.is_empty());
+    assert!(dump.sim_tracks.is_empty());
+}
+
+/// The span-balance property: however spans nest — across recursion
+/// depths and across threads — every open is matched by a close, the
+/// drained dump reports zero open spans, and self-time never exceeds
+/// total time for any aggregate.
+#[test]
+fn span_nesting_balances_across_threads() {
+    let _g = locked();
+    obs::enable(true, true);
+
+    // Deterministic irregular nesting: recursion depth driven by a
+    // splitmix-style hash of (thread, node) rather than wall clock.
+    fn weave(thread: u64, node: u64, depth: u32) {
+        let _s = obs::span_owned(format!("test.weave.d{depth}"));
+        if depth >= 5 {
+            return;
+        }
+        let mut x = thread
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(node)
+            .wrapping_mul(0xbf58476d1ce4e5b9);
+        x ^= x >> 31;
+        for child in 0..(x % 3) {
+            weave(thread, node * 4 + child + 1, depth + 1);
+        }
+    }
+
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let _root = obs::span("test.thread_root");
+                weave(t, 0, 0);
+            })
+        })
+        .collect();
+    {
+        let _root = obs::span("test.main_root");
+        weave(99, 0, 0);
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let dump = obs::drain();
+    assert!(!obs::enabled(), "drain must disable the layer");
+    assert_eq!(dump.opened, dump.closed, "span balance");
+    assert_eq!(dump.open_spans(), 0);
+    assert!(dump.opened > 5, "the weave opened real spans");
+    for agg in &dump.aggregates {
+        assert!(agg.count > 0, "{agg:?}");
+        assert!(agg.self_ns <= agg.total_ns, "{agg:?}");
+        assert!(agg.min_ns <= agg.max_ns, "{agg:?}");
+        assert!(agg.max_ns <= agg.total_ns, "{agg:?}");
+    }
+    // Trace mode retained one record per closed span.
+    assert_eq!(dump.spans.len() as u64, dump.closed);
+    assert_eq!(dump.spans_dropped, 0);
+    // Per-thread interval containment: every deeper span nests inside an
+    // enclosing shallower one that is still open at its start.
+    for r in &dump.spans {
+        if r.depth == 0 {
+            continue;
+        }
+        let contained = dump.spans.iter().any(|p| {
+            p.tid == r.tid
+                && p.depth == r.depth - 1
+                && p.start_ns <= r.start_ns
+                && r.start_ns + r.dur_ns <= p.start_ns + p.dur_ns
+        });
+        assert!(contained, "span {r:?} has no enclosing parent interval");
+    }
+    // The main thread ran exactly one depth-0 span, so root coverage on
+    // the main thread is bounded by the wall since enable.
+    assert!(dump.root_ns_main > 0);
+    assert!(dump.root_ns_main <= dump.wall_ns);
+    assert!(dump.coverage() <= 1.0);
+}
+
+#[test]
+fn counters_accumulate_and_sort() {
+    let _g = locked();
+    obs::enable(true, false);
+    obs::counter_add("test.zeta", 1);
+    obs::counter_add("test.alpha", 2);
+    obs::counter_add("test.zeta", 3);
+    let dump = obs::drain();
+    let got: Vec<(&str, u64)> = dump
+        .counters
+        .iter()
+        .map(|(n, v)| (n.as_str(), *v))
+        .collect();
+    assert_eq!(got, vec![("test.alpha", 2), ("test.zeta", 4)]);
+}
+
+#[test]
+fn interval_recorder_requires_a_session_and_coalesces() {
+    let _g = locked();
+    obs::enable(true, true);
+
+    // No session installed on this thread: recorders refuse to allocate.
+    assert!(obs::IntervalRecorder::if_active("test.lane", 4).is_none());
+
+    {
+        let _sess = obs::sim_session("unit");
+        let mut rec =
+            obs::IntervalRecorder::if_active("test.lane", 2).expect("session active, trace on");
+        // Touching and overlapping intervals coalesce; the disjoint one
+        // stays separate; out-of-order earlier intervals are kept.
+        rec.record(0, 10, 20);
+        rec.record(0, 20, 30);
+        rec.record(0, 25, 40);
+        rec.record(0, 100, 110);
+        rec.record(0, 2, 4);
+        rec.record(1, 5, 9);
+        rec.flush();
+        rec.flush(); // idempotent
+    }
+
+    let dump = obs::drain();
+    assert_eq!(dump.sim_sessions, vec!["unit".to_string()]);
+    let lane0 = dump
+        .sim_tracks
+        .iter()
+        .find(|t| t.name == "test.lane0")
+        .expect("lane 0 flushed");
+    // (100, 110) stays open until flush, so the out-of-order (2, 4)
+    // lands in the closed list ahead of it.
+    assert_eq!(lane0.intervals, vec![(10, 40), (2, 4), (100, 110)]);
+    let lane1 = dump
+        .sim_tracks
+        .iter()
+        .find(|t| t.name == "test.lane1")
+        .expect("lane 1 flushed");
+    assert_eq!(lane1.intervals, vec![(5, 9)]);
+    assert_eq!(dump.sim_tracks.len(), 2, "flush is idempotent");
+}
+
+/// A real replay traced end to end: the simulated-time tracks the engine,
+/// DRAM model, and NoC emit must all be present and well-formed.
+#[test]
+fn replay_emits_simulated_time_tracks() {
+    use omega_sim::hierarchy::CacheHierarchy;
+    use omega_sim::{engine, CoreOp, MachineConfig, MemAccess, Trace};
+
+    let _g = locked();
+    obs::enable(true, true);
+    let dump = {
+        let _sess = obs::sim_session("unit-replay");
+        let cfg = MachineConfig::mini_baseline();
+        let cores = 4usize;
+        let mut traces: Vec<Trace> = vec![Vec::new(); cores];
+        for i in 0..512u64 {
+            let core = (i % cores as u64) as usize;
+            // Strided reads big enough to miss the caches and reach DRAM.
+            traces[core].push(CoreOp::Access(MemAccess::read(i * 4096, 8)));
+            if i % 64 == 0 {
+                for t in traces.iter_mut() {
+                    t.push(CoreOp::Barrier);
+                }
+            }
+        }
+        let mut mem = CacheHierarchy::new(&cfg);
+        let report = engine::run(traces, &mut mem, &cfg);
+        assert!(report.total_cycles > 0);
+        obs::drain()
+    };
+    assert_eq!(dump.sim_sessions, vec!["unit-replay".to_string()]);
+    let names: Vec<&str> = dump.sim_tracks.iter().map(|t| t.name.as_str()).collect();
+    assert!(
+        names.iter().any(|n| n.starts_with("core")),
+        "per-core epoch tracks, got {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.starts_with("dram.ch")),
+        "DRAM channel busy tracks, got {names:?}"
+    );
+    for t in &dump.sim_tracks {
+        assert_eq!(t.session, 1);
+        for &(s, e) in &t.intervals {
+            assert!(s <= e, "inverted interval in {}: ({s}, {e})", t.name);
+        }
+    }
+}

@@ -29,12 +29,27 @@ echo "ci: wrote target/audit-report.json"
 
 # Performance snapshot (omega-bench-report/v1): microbench distributions
 # plus the cold figures-all sweep wall-clock at jobs=1 and jobs=4 — the
-# parallel-replay speedup is recorded in the same file. Diffing against
-# the committed snapshot prints the perf trajectory; it is informational
-# and never gates the build.
+# parallel-replay speedup is recorded in the same file. The full diff
+# against the committed snapshot prints the perf trajectory
+# (informational); the enforced pass re-checks only the end-to-end sweep
+# wall-clocks and fails the build past a generous 50% regression — wide
+# enough for shared-runner noise, tight enough to catch a serialisation
+# bug in the staged engine.
 ./target/release/bench --out target/BENCH_sim.json
 ./target/release/stats bench-diff BENCH_sim.json target/BENCH_sim.json || true
+./target/release/stats bench-diff BENCH_sim.json target/BENCH_sim.json \
+  --fail-on-regress 50
 echo "ci: wrote target/BENCH_sim.json"
+
+# Observability gate, part 1: a small traced workload. The trace must be
+# valid Chrome Trace Event JSON (Perfetto-loadable, every span closed,
+# host spans AND simulated DRAM/NoC/core intervals present). A single
+# dump keeps the artifact small; the full figures sweep would trace
+# hundreds of thousands of intervals.
+./target/release/stats dump --dataset sd --algo pagerank --machine omega \
+  --scale tiny --trace target/trace-sample.json > /dev/null
+./target/release/stats trace-check target/trace-sample.json
+echo "ci: wrote target/trace-sample.json"
 
 # Warm-store determinism gate: a second figure sweep against the same store
 # must be byte-identical on stdout and perform zero functional traces and
@@ -43,7 +58,11 @@ echo "ci: wrote target/BENCH_sim.json"
 # so the gate also proves parallel replay feeds the store bit-identically.
 store_dir=$(mktemp -d)
 trap 'rm -rf "$store_dir"' EXIT
+# The cold run doubles as observability gate part 2: it writes the
+# self-profile report (a CI artifact) while the warm run stays obs-off —
+# the stdout cmp then also proves profiling never leaks into results.
 ./target/release/figures all --tiny --jobs 4 --store "$store_dir/store" \
+  --profile-out target/profile-report.json \
   > target/figures-cold.txt 2> target/figures-cold.err
 ./target/release/figures all --tiny --jobs 4 --store "$store_dir/store" \
   > target/figures-warm.txt 2> target/figures-warm.err
@@ -57,6 +76,7 @@ case "$warm_line" in
 esac
 ./target/release/stats store verify "$store_dir/store" \
   > target/store-verify.json
-echo "ci: wrote target/figures-{cold,warm}.txt and target/store-verify.json"
+echo "ci: wrote target/figures-{cold,warm}.txt, target/profile-report.json,"
+echo "ci:   and target/store-verify.json"
 
 echo "ci: all checks passed"
