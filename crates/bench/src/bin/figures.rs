@@ -72,6 +72,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut tiny = false;
     let mut medium = false;
+    let mut scale_flag: Option<DatasetScale> = None;
     let mut store_path: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut ids: Vec<String> = Vec::new();
@@ -89,6 +90,17 @@ fn main() {
         match arg.as_str() {
             "--tiny" => tiny = true,
             "--medium" => medium = true,
+            "--scale" => match it.next().map(|v| v.parse::<DatasetScale>()) {
+                Some(Ok(s)) => scale_flag = Some(s),
+                Some(Err(e)) => {
+                    eprintln!("figures: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("figures: --scale needs a value (tiny|small|medium)");
+                    std::process::exit(2);
+                }
+            },
             "--store" => match it.next() {
                 Some(p) => store_path = Some(p),
                 None => {
@@ -112,13 +124,13 @@ fn main() {
     }
     let ids: Vec<&str> = ids.iter().map(String::as_str).collect();
     obs.install();
-    let scale = if tiny {
+    let scale = scale_flag.unwrap_or(if tiny {
         DatasetScale::Tiny
     } else if medium {
         DatasetScale::Medium
     } else {
         DatasetScale::Small
-    };
+    });
     let mut session = Session::new(scale);
     if let Some(n) = jobs {
         session = session.jobs(n);

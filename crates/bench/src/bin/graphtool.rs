@@ -95,7 +95,7 @@ fn save(g: &CsrGraph, path: &str, binary: bool) -> Result<(), GraphError> {
 
 fn gen(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let code = args.first().ok_or("gen: missing dataset code")?;
-    let d = Dataset::from_code(code).ok_or_else(|| format!("unknown dataset `{code}`"))?;
+    let d: Dataset = code.parse()?;
     let out = flag_value(args, "--out").ok_or("gen: missing --out FILE")?;
     let g = d.build(scale_of(args))?;
     save(&g, out, has_flag(args, "--binary"))?;

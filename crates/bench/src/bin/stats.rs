@@ -52,46 +52,13 @@ dump defaults: --dataset sd --algo pagerank --machine baseline \
 dump --store reuses/persists the run in a content-addressed store
 dump --jobs caps the replay worker threads (default: all cores)
 dump --profile/--profile-out/--trace enable host self-profiling (stderr/files)
-machines: baseline, omega, omega-nopisc, omega-nosvb, locked-cache
+machines: baseline, omega, omega-nopisc, omega-nosvb, omega-chunkmis, \
+omega-offchip, locked-cache, omega-spNNN
 algos: pagerank, bfs, sssp, bc, radii, cc, tc, kcore";
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("stats: {msg}\n\n{USAGE}");
     ExitCode::from(2)
-}
-
-fn parse_algo(name: &str) -> Option<AlgoKey> {
-    Some(match name.to_ascii_lowercase().as_str() {
-        "pagerank" | "pr" => AlgoKey::PageRank,
-        "bfs" => AlgoKey::Bfs,
-        "sssp" => AlgoKey::Sssp,
-        "bc" => AlgoKey::Bc,
-        "radii" => AlgoKey::Radii,
-        "cc" => AlgoKey::Cc,
-        "tc" => AlgoKey::Tc,
-        "kcore" | "kc" => AlgoKey::KCore,
-        _ => return None,
-    })
-}
-
-fn parse_machine(name: &str) -> Option<MachineKind> {
-    Some(match name.to_ascii_lowercase().as_str() {
-        "baseline" => MachineKind::Baseline,
-        "omega" => MachineKind::Omega,
-        "omega-nopisc" => MachineKind::OmegaNoPisc,
-        "omega-nosvb" => MachineKind::OmegaNoSvb,
-        "locked-cache" => MachineKind::LockedCache,
-        _ => return None,
-    })
-}
-
-fn parse_scale(name: &str) -> Option<DatasetScale> {
-    Some(match name.to_ascii_lowercase().as_str() {
-        "tiny" => DatasetScale::Tiny,
-        "small" => DatasetScale::Small,
-        "medium" => DatasetScale::Medium,
-        _ => return None,
-    })
 }
 
 fn dump(args: &[String]) -> ExitCode {
@@ -115,21 +82,21 @@ fn dump(args: &[String]) -> ExitCode {
             return usage_error(&format!("{flag} needs a value"));
         };
         match flag.as_str() {
-            "--dataset" => match Dataset::from_code(&value) {
-                Some(d) => dataset = d,
-                None => return usage_error(&format!("unknown dataset {value:?}")),
+            "--dataset" => match value.parse::<Dataset>() {
+                Ok(d) => dataset = d,
+                Err(e) => return usage_error(&e.to_string()),
             },
-            "--algo" => match parse_algo(&value) {
-                Some(a) => algo = a,
-                None => return usage_error(&format!("unknown algorithm {value:?}")),
+            "--algo" => match value.parse::<AlgoKey>() {
+                Ok(a) => algo = a,
+                Err(e) => return usage_error(&e.to_string()),
             },
-            "--machine" => match parse_machine(&value) {
-                Some(m) => machine = m,
-                None => return usage_error(&format!("unknown machine {value:?}")),
+            "--machine" => match value.parse::<MachineKind>() {
+                Ok(m) => machine = m,
+                Err(e) => return usage_error(&e.to_string()),
             },
-            "--scale" => match parse_scale(&value) {
-                Some(s) => scale = s,
-                None => return usage_error(&format!("unknown scale {value:?}")),
+            "--scale" => match value.parse::<DatasetScale>() {
+                Ok(s) => scale = s,
+                Err(e) => return usage_error(&e.to_string()),
             },
             "--window" => match value.parse::<u64>() {
                 Ok(n) if n > 0 => window = n,

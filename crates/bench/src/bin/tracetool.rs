@@ -25,13 +25,6 @@ fn main() -> ExitCode {
     }
 }
 
-fn algo_by_name(name: &str) -> Option<AlgoKey> {
-    AlgoKey::ALL
-        .iter()
-        .copied()
-        .find(|a| a.name().eq_ignore_ascii_case(name))
-}
-
 fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     if cmd == "help" {
@@ -39,9 +32,9 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
     let code = args.get(1).ok_or("missing dataset code")?;
-    let d = Dataset::from_code(code).ok_or_else(|| format!("unknown dataset `{code}`"))?;
+    let d: Dataset = code.parse()?;
     let aname = args.get(2).ok_or("missing algorithm name")?;
-    let a = algo_by_name(aname).ok_or_else(|| format!("unknown algorithm `{aname}`"))?;
+    let a: AlgoKey = aname.parse()?;
     let scale = if args.iter().any(|x| x == "--tiny") {
         DatasetScale::Tiny
     } else {

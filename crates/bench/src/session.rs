@@ -3,6 +3,7 @@
 use crate::store::ExperimentStore;
 use omega_core::config::SystemConfig;
 use omega_core::runner::{replay_report_parallel, trace_algorithm, RunConfig, RunReport, Runner};
+use omega_core::OmegaError;
 use omega_graph::datasets::{Dataset, DatasetScale};
 use omega_graph::CsrGraph;
 use omega_ligra::algorithms::Algo;
@@ -47,25 +48,70 @@ impl MachineKind {
     /// (one cache line's worth of vertex properties).
     pub const MIN_SP_BYTES: u64 = 64;
 
+    /// The seven fixed machine kinds, in figure order — everything except
+    /// the parameterised [`MachineKind::OmegaScaledSp`], whose labels
+    /// (`omega-spNNN`) form an open family parsed by
+    /// [`MachineKind::from_name`].
+    pub const NAMED: [MachineKind; 7] = [
+        MachineKind::Baseline,
+        MachineKind::Omega,
+        MachineKind::OmegaNoPisc,
+        MachineKind::OmegaNoSvb,
+        MachineKind::OmegaChunkMismatch,
+        MachineKind::OmegaOffchip,
+        MachineKind::LockedCache,
+    ];
+
     /// Checked constructor for [`MachineKind::OmegaScaledSp`]: rejects a
     /// permille whose scaled scratchpad would fall below
     /// [`MachineKind::MIN_SP_BYTES`], instead of silently simulating a
     /// larger machine than the label claims.
-    pub fn scaled_sp(permille: u32) -> Result<MachineKind, String> {
+    pub fn scaled_sp(permille: u32) -> Result<MachineKind, OmegaError> {
         let standard = SystemConfig::mini_omega()
             .omega
             .expect("mini_omega always has an omega config")
             .sp_bytes_per_core;
         let sp = standard * permille as u64 / 1000;
         if sp < Self::MIN_SP_BYTES {
-            Err(format!(
+            Err(OmegaError::InvalidConfig(format!(
                 "scratchpad scale {permille}‰ of {standard} B yields {sp} B/core, \
                  below the {} B minimum",
                 Self::MIN_SP_BYTES
-            ))
+            )))
         } else {
             Ok(MachineKind::OmegaScaledSp { permille })
         }
+    }
+
+    /// Looks a machine up by its [`MachineKind::label`] (case-insensitive).
+    /// `omega-spNNN` labels go through the [`MachineKind::scaled_sp`]
+    /// validation, so an undersized scale is an [`OmegaError::InvalidConfig`]
+    /// rather than an unknown name.
+    pub fn from_name(name: &str) -> Result<MachineKind, OmegaError> {
+        if let Some(m) = MachineKind::NAMED
+            .iter()
+            .copied()
+            .find(|m| m.label().eq_ignore_ascii_case(name))
+        {
+            return Ok(m);
+        }
+        let lower = name.to_ascii_lowercase();
+        if let Some(digits) = lower.strip_prefix("omega-sp") {
+            let permille: u32 = digits
+                .parse()
+                .map_err(|_| OmegaError::unknown_name("machine", name, Self::expected_names()))?;
+            return MachineKind::scaled_sp(permille);
+        }
+        Err(OmegaError::unknown_name(
+            "machine",
+            name,
+            Self::expected_names(),
+        ))
+    }
+
+    fn expected_names() -> String {
+        let labels: Vec<String> = MachineKind::NAMED.iter().map(|m| m.label()).collect();
+        format!("{}, omega-spNNN", labels.join(", "))
     }
 
     /// Builds the corresponding system configuration at mini scale.
@@ -133,6 +179,20 @@ impl MachineKind {
     }
 }
 
+impl std::fmt::Display for MachineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl std::str::FromStr for MachineKind {
+    type Err = OmegaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        MachineKind::from_name(s)
+    }
+}
+
 /// A named algorithm instance usable as a cache key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AlgoKey {
@@ -194,6 +254,51 @@ impl AlgoKey {
             AlgoKey::Tc => "TC",
             AlgoKey::KCore => "KC",
         }
+    }
+
+    /// Stable lowercase identifier used in CLI flags and the wire protocol.
+    pub fn code(self) -> &'static str {
+        match self {
+            AlgoKey::PageRank => "pagerank",
+            AlgoKey::Bfs => "bfs",
+            AlgoKey::Sssp => "sssp",
+            AlgoKey::Bc => "bc",
+            AlgoKey::Radii => "radii",
+            AlgoKey::Cc => "cc",
+            AlgoKey::Tc => "tc",
+            AlgoKey::KCore => "kcore",
+        }
+    }
+
+    /// Looks an algorithm up by code, paper label, or alias
+    /// (case-insensitive): `pagerank`/`pr`, `kcore`/`kc`, `bfs`, ….
+    pub fn from_name(name: &str) -> Result<AlgoKey, OmegaError> {
+        let hit = AlgoKey::ALL
+            .iter()
+            .copied()
+            .find(|a| a.code().eq_ignore_ascii_case(name) || a.name().eq_ignore_ascii_case(name));
+        let hit = hit.or(match name.to_ascii_lowercase().as_str() {
+            "pr" => Some(AlgoKey::PageRank),
+            _ => None,
+        });
+        hit.ok_or_else(|| {
+            let codes: Vec<&str> = AlgoKey::ALL.iter().map(|a| a.code()).collect();
+            OmegaError::unknown_name("algo", name, codes.join(", "))
+        })
+    }
+}
+
+impl std::fmt::Display for AlgoKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+impl std::str::FromStr for AlgoKey {
+    type Err = OmegaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AlgoKey::from_name(s)
     }
 }
 
@@ -264,6 +369,54 @@ impl From<(Dataset, AlgoKey)> for ExperimentSpec {
 
 /// One fully keyed experiment and its result.
 type KeyedReport = (ExperimentSpec, RunReport);
+
+/// Where a report came from — the per-request cache outcome that a serving
+/// layer needs to keep exact hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunOrigin {
+    /// Served from the session's in-memory memo cache.
+    Memo,
+    /// Loaded from the persistent [`ExperimentStore`] (a store hit: no
+    /// trace, no replay).
+    Store,
+    /// Freshly simulated (a store miss; persisted on the way out when a
+    /// store is attached).
+    Computed,
+}
+
+/// Per-spec outcomes of one [`Session::prefetch`] call: exactly one entry
+/// per *distinct* requested spec, in first-seen order. Callers that only
+/// want the side effect (a warm cache) can ignore it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrefetchReport {
+    /// `(spec, origin)` per distinct requested spec.
+    pub outcomes: Vec<(ExperimentSpec, RunOrigin)>,
+}
+
+impl PrefetchReport {
+    /// How many specs resolved with the given origin.
+    pub fn count(&self, origin: RunOrigin) -> usize {
+        self.outcomes.iter().filter(|(_, o)| *o == origin).count()
+    }
+
+    /// Store hits (served with no trace and no replay).
+    pub fn store_hits(&self) -> usize {
+        self.count(RunOrigin::Store)
+    }
+
+    /// Fresh simulations.
+    pub fn computed(&self) -> usize {
+        self.count(RunOrigin::Computed)
+    }
+
+    /// The origin recorded for `spec`, if it was part of the call.
+    pub fn origin_of(&self, spec: ExperimentSpec) -> Option<RunOrigin> {
+        self.outcomes
+            .iter()
+            .find(|(s, _)| *s == spec)
+            .map(|(_, o)| *o)
+    }
+}
 
 /// Memoising experiment session.
 ///
@@ -419,7 +572,9 @@ impl Session {
 
     /// Runs every experiment in `work` that is not already cached and
     /// stores the reports. Subsequent [`Session::report`] calls are cache
-    /// hits.
+    /// hits. Returns a [`PrefetchReport`] naming where every distinct spec
+    /// came from (memo / store / computed), so callers with their own
+    /// hit-rate accounting — the `omega-serve` counters — stay exact.
     ///
     /// Store hits are drained first (no trace, no replay). The remaining
     /// experiments are grouped by `(dataset, algo)`: the functional
@@ -436,21 +591,30 @@ impl Session {
     /// engine is bit-identical to the serial one, so parallel execution
     /// changes nothing but wall-clock time. Fresh results are persisted
     /// from the worker threads (the store is `Sync`; writes are atomic).
-    pub fn prefetch<S: Into<ExperimentSpec> + Copy>(&mut self, work: &[S]) {
+    pub fn prefetch<S: Into<ExperimentSpec> + Copy>(&mut self, work: &[S]) -> PrefetchReport {
         let _span = obs::span("session.prefetch");
         let candidates: Vec<ExperimentSpec> = {
             let mut seen = std::collections::HashSet::new();
             work.iter()
                 .map(|&s| s.into())
-                .filter(|spec| !self.runs.contains_key(spec) && seen.insert(*spec))
+                .filter(|spec| seen.insert(*spec))
                 .collect()
         };
-        let pending: Vec<ExperimentSpec> = candidates
-            .into_iter()
-            .filter(|&spec| !self.load_from_store(spec))
-            .collect();
+        let mut outcomes: Vec<(ExperimentSpec, RunOrigin)> = Vec::new();
+        let mut pending: Vec<ExperimentSpec> = Vec::new();
+        for spec in candidates {
+            if self.runs.contains_key(&spec) {
+                outcomes.push((spec, RunOrigin::Memo));
+            } else if self.load_from_store(spec) {
+                outcomes.push((spec, RunOrigin::Store));
+            } else {
+                pending.push(spec);
+            }
+        }
+        outcomes.extend(pending.iter().map(|&spec| (spec, RunOrigin::Computed)));
+        let outcome_report = PrefetchReport { outcomes };
         if pending.is_empty() {
-            return;
+            return outcome_report;
         }
         // Build the needed graphs first (cached, sequential — cheap next to
         // the simulations).
@@ -533,14 +697,28 @@ impl Session {
         });
         self.runs
             .extend(results.into_inner().expect("no panics hold the lock"));
+        outcome_report
     }
 
     /// Runs (or fetches) one experiment. Lookup order: in-memory memo
     /// cache, then the persistent store (if attached), then a fresh
     /// simulation (persisted on the way out).
     pub fn report(&mut self, spec: impl Into<ExperimentSpec>) -> &RunReport {
+        self.report_with_origin(spec).0
+    }
+
+    /// [`Session::report`], additionally naming where the report came from
+    /// (memo hit / store hit / fresh simulation).
+    pub fn report_with_origin(
+        &mut self,
+        spec: impl Into<ExperimentSpec>,
+    ) -> (&RunReport, RunOrigin) {
         let spec = spec.into();
-        if !self.runs.contains_key(&spec) && !self.load_from_store(spec) {
+        let origin = if self.runs.contains_key(&spec) {
+            RunOrigin::Memo
+        } else if self.load_from_store(spec) {
+            RunOrigin::Store
+        } else {
             let g = self.graph(spec.dataset).clone();
             let algo = spec.algo.algo(&g);
             if self.verbose {
@@ -564,8 +742,9 @@ impl Session {
                 &report,
             );
             self.runs.insert(spec, report);
-        }
-        &self.runs[&spec]
+            RunOrigin::Computed
+        };
+        (&self.runs[&spec], origin)
     }
 
     /// OMEGA-over-baseline speedup for one experiment.
@@ -635,7 +814,8 @@ mod tests {
         assert!(MachineKind::scaled_sp(8).is_ok());
         assert!(MachineKind::scaled_sp(1000).is_ok());
         let err = MachineKind::scaled_sp(7).unwrap_err();
-        assert!(err.contains("below"), "{err}");
+        assert!(err.to_string().contains("below"), "{err}");
+        assert_eq!(err.code(), "invalid-config");
         // The validated instance builds the size its label claims.
         let sys = MachineKind::scaled_sp(8).unwrap().system();
         assert_eq!(sys.omega.unwrap().sp_bytes_per_core, 65);
@@ -645,6 +825,74 @@ mod tests {
     #[should_panic(expected = "below the 64 B minimum")]
     fn undersized_scaled_sp_panics_instead_of_clamping() {
         MachineKind::OmegaScaledSp { permille: 1 }.system();
+    }
+
+    #[test]
+    fn machine_names_roundtrip_through_from_name() {
+        for m in MachineKind::NAMED {
+            assert_eq!(m.label().parse::<MachineKind>().unwrap(), m);
+        }
+        // The scaled-scratchpad family parses through validation.
+        assert_eq!(
+            "omega-sp500".parse::<MachineKind>().unwrap(),
+            MachineKind::OmegaScaledSp { permille: 500 }
+        );
+        assert_eq!(
+            "OMEGA".parse::<MachineKind>().unwrap(),
+            MachineKind::Omega,
+            "lookups are case-insensitive"
+        );
+        let undersized = "omega-sp1".parse::<MachineKind>().unwrap_err();
+        assert_eq!(undersized.code(), "invalid-config");
+        let unknown = "warp-drive".parse::<MachineKind>().unwrap_err();
+        assert_eq!(unknown.code(), "unknown-name");
+        assert!(unknown.to_string().contains("baseline"), "{unknown}");
+    }
+
+    #[test]
+    fn algo_names_roundtrip_through_from_name() {
+        for a in AlgoKey::ALL {
+            assert_eq!(a.code().parse::<AlgoKey>().unwrap(), a);
+            assert_eq!(a.name().parse::<AlgoKey>().unwrap(), a, "paper label");
+        }
+        assert_eq!("pr".parse::<AlgoKey>().unwrap(), AlgoKey::PageRank);
+        assert_eq!("kc".parse::<AlgoKey>().unwrap(), AlgoKey::KCore);
+        let err = "dijkstra".parse::<AlgoKey>().unwrap_err();
+        assert_eq!(err.code(), "unknown-name");
+        assert!(err.to_string().contains("pagerank"), "{err}");
+    }
+
+    #[test]
+    fn prefetch_reports_per_spec_origins() {
+        let dir =
+            std::env::temp_dir().join(format!("omega-prefetch-origin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let memo_spec = ExperimentSpec::new(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline);
+        let fresh_spec = ExperimentSpec::new(Dataset::Sd, AlgoKey::Bfs, MachineKind::Omega);
+        let mut s = Session::new(DatasetScale::Tiny)
+            .verbose(false)
+            .with_store(&dir)
+            .unwrap();
+        s.report(memo_spec);
+        let r = s.prefetch(&[memo_spec, fresh_spec, fresh_spec]);
+        assert_eq!(r.outcomes.len(), 2, "duplicates collapse");
+        assert_eq!(r.origin_of(memo_spec), Some(RunOrigin::Memo));
+        assert_eq!(r.origin_of(fresh_spec), Some(RunOrigin::Computed));
+        assert_eq!(r.computed(), 1);
+        assert_eq!(r.store_hits(), 0);
+        // A second session over the same store sees the persisted result.
+        let mut s2 = Session::new(DatasetScale::Tiny)
+            .verbose(false)
+            .with_store(&dir)
+            .unwrap();
+        let r2 = s2.prefetch(&[fresh_spec]);
+        assert_eq!(r2.origin_of(fresh_spec), Some(RunOrigin::Store));
+        assert_eq!(r2.store_hits(), 1);
+        let (_, origin) = s2.report_with_origin(memo_spec);
+        assert_eq!(origin, RunOrigin::Store);
+        let (_, origin) = s2.report_with_origin(memo_spec);
+        assert_eq!(origin, RunOrigin::Memo);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

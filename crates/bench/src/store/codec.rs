@@ -20,12 +20,18 @@
 
 use crate::json::Json;
 use omega_core::runner::RunReport;
+use omega_core::OmegaError;
 use omega_sim::stats::{AtomicStats, CacheStats, DramStats, MemStats, NocStats, ScratchpadStats};
 use omega_sim::telemetry::{LatencyHistogram, TelemetryReport, WindowSample};
 use omega_sim::{engine::CoreReport, EngineReport};
 
 /// Largest integer exactly representable in an `f64`.
 const MAX_EXACT: u64 = 1 << 53;
+
+/// Every decode failure is data that does not form the claimed schema.
+fn corrupt(msg: impl Into<String>) -> OmegaError {
+    OmegaError::Corrupt(msg.into())
+}
 
 fn ju64(n: u64) -> Json {
     if n < MAX_EXACT {
@@ -35,27 +41,30 @@ fn ju64(n: u64) -> Json {
     }
 }
 
-fn pu64(v: &Json) -> Result<u64, String> {
+fn pu64(v: &Json) -> Result<u64, OmegaError> {
     match v {
-        Json::Num(_) => v.as_u64().ok_or_else(|| "non-counter number".to_string()),
-        Json::Str(s) => s.parse::<u64>().map_err(|e| format!("bad u64 `{s}`: {e}")),
-        other => Err(format!("expected u64, got {other:?}")),
+        Json::Num(_) => v.as_u64().ok_or_else(|| corrupt("non-counter number")),
+        Json::Str(s) => s
+            .parse::<u64>()
+            .map_err(|e| corrupt(format!("bad u64 `{s}`: {e}"))),
+        other => Err(corrupt(format!("expected u64, got {other:?}"))),
     }
 }
 
-fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
-    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, OmegaError> {
+    v.get(key)
+        .ok_or_else(|| corrupt(format!("missing field `{key}`")))
 }
 
-fn fu64(v: &Json, key: &str) -> Result<u64, String> {
+fn fu64(v: &Json, key: &str) -> Result<u64, OmegaError> {
     pu64(field(v, key)?)
 }
 
-fn fstr(v: &Json, key: &str) -> Result<String, String> {
+fn fstr(v: &Json, key: &str) -> Result<String, OmegaError> {
     field(v, key)?
         .as_str()
         .map(str::to_string)
-        .ok_or_else(|| format!("field `{key}` is not a string"))
+        .ok_or_else(|| corrupt(format!("field `{key}` is not a string")))
 }
 
 fn cache_stats_to_json(c: &CacheStats) -> Json {
@@ -67,7 +76,7 @@ fn cache_stats_to_json(c: &CacheStats) -> Json {
     o
 }
 
-fn cache_stats_from_json(v: &Json) -> Result<CacheStats, String> {
+fn cache_stats_from_json(v: &Json) -> Result<CacheStats, OmegaError> {
     Ok(CacheStats {
         hits: fu64(v, "hits")?,
         misses: fu64(v, "misses")?,
@@ -115,7 +124,7 @@ fn mem_stats_to_json(m: &MemStats) -> Json {
     o
 }
 
-fn mem_stats_from_json(v: &Json) -> Result<MemStats, String> {
+fn mem_stats_from_json(v: &Json) -> Result<MemStats, OmegaError> {
     let noc = field(v, "noc")?;
     let dram = field(v, "dram")?;
     let atomics = field(v, "atomics")?;
@@ -173,25 +182,29 @@ fn histogram_to_json(h: &LatencyHistogram) -> Json {
     o
 }
 
-fn histogram_from_json(v: &Json) -> Result<LatencyHistogram, String> {
+fn histogram_from_json(v: &Json) -> Result<LatencyHistogram, OmegaError> {
     let mut buckets = Vec::new();
     for pair in field(v, "buckets")?
         .as_array()
-        .ok_or("histogram buckets are not an array")?
+        .ok_or_else(|| corrupt("histogram buckets are not an array"))?
     {
-        let pair = pair.as_array().ok_or("bucket entry is not a pair")?;
+        let pair = pair
+            .as_array()
+            .ok_or_else(|| corrupt("bucket entry is not a pair"))?;
         if pair.len() != 2 {
-            return Err("bucket entry is not a pair".into());
+            return Err(corrupt("bucket entry is not a pair"));
         }
-        let idx = pair[0].as_u64().ok_or("bad bucket index")? as usize;
+        let idx = pair[0]
+            .as_u64()
+            .ok_or_else(|| corrupt("bad bucket index"))? as usize;
         buckets.push((idx, pu64(&pair[1])?));
     }
     let sum_str = fstr(v, "sum")?;
     let sum = sum_str
         .parse::<u128>()
-        .map_err(|e| format!("bad histogram sum `{sum_str}`: {e}"))?;
+        .map_err(|e| corrupt(format!("bad histogram sum `{sum_str}`: {e}")))?;
     LatencyHistogram::from_raw(&buckets, sum, fu64(v, "min")?, fu64(v, "max")?)
-        .ok_or_else(|| "inconsistent histogram state".to_string())
+        .ok_or_else(|| corrupt("inconsistent histogram state"))
 }
 
 fn telemetry_to_json(t: &TelemetryReport) -> Json {
@@ -218,11 +231,11 @@ fn telemetry_to_json(t: &TelemetryReport) -> Json {
     o
 }
 
-fn telemetry_from_json(v: &Json) -> Result<TelemetryReport, String> {
+fn telemetry_from_json(v: &Json) -> Result<TelemetryReport, OmegaError> {
     let mut windows = Vec::new();
     for w in field(v, "windows")?
         .as_array()
-        .ok_or("telemetry windows are not an array")?
+        .ok_or_else(|| corrupt("telemetry windows are not an array"))?
     {
         windows.push(WindowSample {
             end: fu64(w, "end")?,
@@ -283,18 +296,21 @@ pub fn report_to_json(r: &RunReport) -> Json {
     o
 }
 
-/// Decodes a store payload back into a report. Errors on any structural
-/// mismatch — the store maps that to "corrupt entry, recompute".
-pub fn report_from_json(v: &Json) -> Result<RunReport, String> {
+/// Decodes a store payload back into a report. Every structural mismatch
+/// is an [`OmegaError::Corrupt`] — the store maps that to "corrupt entry,
+/// recompute".
+pub fn report_from_json(v: &Json) -> Result<RunReport, OmegaError> {
     let engine = field(v, "engine")?;
     let mut per_core = Vec::new();
     for core in field(engine, "per_core")?
         .as_array()
-        .ok_or("per_core is not an array")?
+        .ok_or_else(|| corrupt("per_core is not an array"))?
     {
-        let core = core.as_array().ok_or("per-core entry is not an array")?;
+        let core = core
+            .as_array()
+            .ok_or_else(|| corrupt("per-core entry is not an array"))?;
         if core.len() != 7 {
-            return Err("per-core entry has wrong arity".into());
+            return Err(corrupt("per-core entry has wrong arity"));
         }
         per_core.push(CoreReport {
             ops: pu64(&core[0])?,
@@ -308,10 +324,10 @@ pub fn report_from_json(v: &Json) -> Result<RunReport, String> {
     }
     let checksum_hex = fstr(v, "checksum_bits")?;
     let checksum_bits = u64::from_str_radix(&checksum_hex, 16)
-        .map_err(|e| format!("bad checksum bits `{checksum_hex}`: {e}"))?;
+        .map_err(|e| corrupt(format!("bad checksum bits `{checksum_hex}`: {e}")))?;
     let hot = fu64(v, "hot_count")?;
     if hot > u32::MAX as u64 {
-        return Err("hot_count exceeds u32".into());
+        return Err(corrupt("hot_count exceeds u32"));
     }
     Ok(RunReport {
         algo: fstr(v, "algo")?,

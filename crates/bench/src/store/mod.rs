@@ -30,6 +30,7 @@
 use crate::json::Json;
 use omega_core::config::SystemConfig;
 use omega_core::runner::{ExecConfigSer, RunReport};
+use omega_core::OmegaError;
 use omega_sim::fingerprint::Fnv64;
 use omega_sim::obs;
 use std::fs;
@@ -110,6 +111,15 @@ pub fn run_fingerprint(
 }
 
 /// Hit/miss/corruption counters of one store handle (this process only).
+///
+/// Counters tick once per *load or persist attempt*, so they give exact
+/// per-request cache outcomes: every [`ExperimentStore::load_report`] /
+/// [`ExperimentStore::load_value`] call increments exactly one of `hits`
+/// or `misses` (plus `corrupt` when the miss was a damaged entry), and
+/// every successful persist increments `writes`. Layers with their own
+/// accounting — [`crate::session::Session::prefetch`]'s
+/// [`crate::session::PrefetchReport`] and the `omega-serve` hit/miss
+/// counters — can therefore reconcile against these totals.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreCounters {
     /// Loads served from disk.
@@ -206,27 +216,31 @@ impl ExperimentStore {
     }
 
     /// Decodes and validates one entry file's text against the expected
-    /// fingerprint. Returns `(kind, payload)`.
-    fn decode_entry(text: &str, fingerprint: u64) -> Result<(String, Json), String> {
-        let doc = Json::parse(text).map_err(|e| format!("parse: {e:?}"))?;
-        let get_str = |key: &str| -> Result<&str, String> {
+    /// fingerprint. Returns `(kind, payload)`; every failure mode is an
+    /// [`OmegaError::Corrupt`].
+    fn decode_entry(text: &str, fingerprint: u64) -> Result<(String, Json), OmegaError> {
+        let corrupt = |msg: String| OmegaError::Corrupt(msg);
+        let doc = Json::parse(text).map_err(|e| corrupt(format!("parse: {e:?}")))?;
+        let get_str = |key: &str| -> Result<&str, OmegaError> {
             doc.get(key)
                 .and_then(Json::as_str)
-                .ok_or_else(|| format!("missing `{key}`"))
+                .ok_or_else(|| corrupt(format!("missing `{key}`")))
         };
         if get_str("schema")? != STORE_ENTRY_SCHEMA {
-            return Err("schema mismatch".into());
+            return Err(corrupt("schema mismatch".into()));
         }
         if doc.get("version").and_then(Json::as_u64) != Some(STORE_FORMAT_VERSION as u64) {
-            return Err("version mismatch".into());
+            return Err(corrupt("version mismatch".into()));
         }
         if get_str("fingerprint")? != format!("{fingerprint:016x}") {
-            return Err("fingerprint mismatch".into());
+            return Err(corrupt("fingerprint mismatch".into()));
         }
-        let payload = doc.get("payload").ok_or("missing `payload`")?;
+        let payload = doc
+            .get("payload")
+            .ok_or_else(|| corrupt("missing `payload`".into()))?;
         let check = get_str("check")?;
         if check != format!("{:016x}", payload_checksum(payload)) {
-            return Err("checksum mismatch".into());
+            return Err(corrupt("checksum mismatch".into()));
         }
         Ok((get_str("kind")?.to_string(), payload.clone()))
     }
@@ -366,7 +380,7 @@ impl ExperimentStore {
         let mut outcome = VerifyOutcome::default();
         for (path, fingerprint) in self.entry_files()? {
             let ok = fs::read_to_string(&path)
-                .map_err(|e| e.to_string())
+                .map_err(OmegaError::from)
                 .and_then(|t| Self::decode_entry(&t, fingerprint))
                 .is_ok();
             if ok {
@@ -394,7 +408,7 @@ impl ExperimentStore {
         }
         for (path, fingerprint) in self.entry_files()? {
             let ok = fs::read_to_string(&path)
-                .map_err(|e| e.to_string())
+                .map_err(OmegaError::from)
                 .and_then(|t| Self::decode_entry(&t, fingerprint))
                 .is_ok();
             if ok {

@@ -30,6 +30,8 @@
 //!   a trace, replay it on a machine, return a [`runner::RunReport`].
 //! * [`analytic`] — the high-level performance model used for the paper's
 //!   very large datasets (Fig. 20).
+//! * [`error`] — [`OmegaError`], the workspace-wide error currency with
+//!   stable machine-readable codes for wire-level error responses.
 //!
 //! # Example
 //!
@@ -56,6 +58,7 @@
 pub mod analytic;
 pub mod config;
 pub mod controller;
+pub mod error;
 pub mod layout;
 pub mod locked;
 pub mod lower;
@@ -66,5 +69,6 @@ pub mod runner;
 pub mod svbuffer;
 
 pub use config::{OmegaConfig, SystemConfig};
+pub use error::OmegaError;
 pub use machine::OmegaMemory;
 pub use runner::{run, RunConfig, RunReport};

@@ -45,6 +45,13 @@ pub enum DatasetScale {
 }
 
 impl DatasetScale {
+    /// All scales, smallest first.
+    pub const ALL: [DatasetScale; 3] = [
+        DatasetScale::Tiny,
+        DatasetScale::Small,
+        DatasetScale::Medium,
+    ];
+
     /// Stable lowercase identifier ("tiny" / "small" / "medium"), used in
     /// CLI flags and experiment-store fingerprints.
     pub fn code(self) -> &'static str {
@@ -53,6 +60,14 @@ impl DatasetScale {
             DatasetScale::Small => "small",
             DatasetScale::Medium => "medium",
         }
+    }
+
+    /// Looks a scale up by its [`DatasetScale::code`] (case-insensitive).
+    pub fn from_code(code: &str) -> Option<DatasetScale> {
+        DatasetScale::ALL
+            .iter()
+            .copied()
+            .find(|s| s.code().eq_ignore_ascii_case(code))
     }
 
     /// Log2 reduction applied to the R-MAT scale exponent relative to
@@ -385,6 +400,37 @@ impl std::fmt::Display for Dataset {
     }
 }
 
+impl std::str::FromStr for Dataset {
+    type Err = GraphError;
+
+    /// Parses a paper dataset code (case-insensitive). Unknown codes become
+    /// a structured [`GraphError::UnknownName`] at the boundary.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Dataset::from_code(s).ok_or_else(|| GraphError::UnknownName {
+            kind: "dataset",
+            given: s.to_string(),
+        })
+    }
+}
+
+impl std::fmt::Display for DatasetScale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+impl std::str::FromStr for DatasetScale {
+    type Err = GraphError;
+
+    /// Parses a scale code (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DatasetScale::from_code(s).ok_or_else(|| GraphError::UnknownName {
+            kind: "scale",
+            given: s.to_string(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,6 +494,19 @@ mod tests {
         }
         assert_eq!(Dataset::from_code("TWITTER"), Some(Dataset::Twitter));
         assert_eq!(Dataset::from_code("nope"), None);
+    }
+
+    #[test]
+    fn from_str_is_from_code_with_a_structured_error() {
+        for d in Dataset::ALL {
+            assert_eq!(d.code().parse::<Dataset>().unwrap(), d);
+        }
+        let err = "nope".parse::<Dataset>().unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
+        for s in DatasetScale::ALL {
+            assert_eq!(s.code().parse::<DatasetScale>().unwrap(), s);
+        }
+        assert!("huge".parse::<DatasetScale>().is_err());
     }
 
     #[test]

@@ -24,6 +24,15 @@ pub enum GraphError {
         /// What was wrong with the line.
         message: String,
     },
+    /// A name-keyed lookup (dataset code, scale name, …) matched nothing.
+    /// Produced by the `FromStr` impls so bad names become boundary errors
+    /// instead of panics inside the registry.
+    UnknownName {
+        /// What kind of name was looked up ("dataset", "scale", …).
+        kind: &'static str,
+        /// The offending input.
+        given: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -40,6 +49,9 @@ impl fmt::Display for GraphError {
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::UnknownName { kind, given } => {
+                write!(f, "unknown {kind} `{given}`")
             }
         }
     }

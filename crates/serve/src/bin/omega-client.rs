@@ -1,0 +1,188 @@
+//! `omega-client` — command-line client for a running `omega-serve`.
+//!
+//! ```text
+//! omega-client run      --addr HOST:PORT [--scale S] <dataset> <algo> [machine]
+//! omega-client batch    --addr HOST:PORT [--scale S] SPEC...   # SPEC = dataset:algo[:machine]
+//! omega-client stats    --addr HOST:PORT
+//! omega-client ping     --addr HOST:PORT
+//! omega-client shutdown --addr HOST:PORT
+//! ```
+//!
+//! `run` and `stats` print the payload JSON on stdout. `batch` issues
+//! every spec over one connection and prints a one-line outcome per
+//! spec plus a summary; it exits non-zero if any request was shed or
+//! failed.
+
+use omega_bench::session::{AlgoKey, ExperimentSpec, MachineKind};
+use omega_graph::datasets::{Dataset, DatasetScale};
+use omega_serve::proto::RunRequest;
+use omega_serve::{Client, Response};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: omega-client <run|batch|stats|ping|shutdown> --addr HOST:PORT \
+[--scale S] [args...]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("omega-client: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+struct Cli {
+    addr: Option<String>,
+    scale: DatasetScale,
+    rest: Vec<String>,
+}
+
+fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        addr: None,
+        scale: DatasetScale::Small,
+        rest: Vec::new(),
+    };
+    let mut it = args;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => cli.addr = Some(it.next().ok_or("--addr needs a value")?),
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                cli.scale = v.parse().map_err(|e| format!("{e}"))?;
+            }
+            _ => cli.rest.push(arg),
+        }
+    }
+    Ok(cli)
+}
+
+/// Parses `dataset:algo[:machine]`.
+fn parse_spec(text: &str) -> Result<ExperimentSpec, String> {
+    let parts: Vec<&str> = text.split(':').collect();
+    let (d, a, m) = match parts.as_slice() {
+        [d, a] => (*d, *a, None),
+        [d, a, m] => (*d, *a, Some(*m)),
+        _ => return Err(format!("spec `{text}` is not dataset:algo[:machine]")),
+    };
+    let dataset: Dataset = d.parse().map_err(|e| format!("{e}"))?;
+    let algo: AlgoKey = a.parse().map_err(|e| format!("{e}"))?;
+    let machine: MachineKind = match m {
+        Some(m) => m.parse().map_err(|e| format!("{e}"))?,
+        None => MachineKind::Omega,
+    };
+    Ok(ExperimentSpec::new(dataset, algo, machine))
+}
+
+fn connect(cli: &Cli) -> Result<Client, String> {
+    let addr = cli.addr.as_deref().ok_or("missing --addr HOST:PORT")?;
+    Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return fail("missing command");
+    };
+    let cli = match parse_cli(args) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&cli),
+        "batch" => cmd_batch(&cli),
+        "stats" => cmd_stats(&cli),
+        "ping" => cmd_simple(&cli, |c| c.ping().map(|()| "pong".to_string())),
+        "shutdown" => cmd_simple(&cli, |c| c.shutdown().map(|()| "draining".to_string())),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => return fail(&format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => fail(&e),
+    }
+}
+
+fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
+    let dataset = cli.rest.first().ok_or("run: missing dataset")?;
+    let algo = cli.rest.get(1).ok_or("run: missing algo")?;
+    let machine = cli.rest.get(2).map(String::as_str);
+    let spec = parse_spec(&match machine {
+        Some(m) => format!("{dataset}:{algo}:{m}"),
+        None => format!("{dataset}:{algo}"),
+    })?;
+    let mut client = connect(cli)?;
+    let payload = client
+        .run_payload(RunRequest {
+            spec,
+            scale: cli.scale,
+        })
+        .map_err(|e| e.to_string())?;
+    print!("{}", payload.dump());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_batch(cli: &Cli) -> Result<ExitCode, String> {
+    if cli.rest.is_empty() {
+        return Err("batch: no specs given".into());
+    }
+    let specs: Vec<ExperimentSpec> = cli
+        .rest
+        .iter()
+        .map(|s| parse_spec(s))
+        .collect::<Result<_, _>>()?;
+    let mut client = connect(cli)?;
+    let (mut ok, mut busy, mut failed) = (0u32, 0u32, 0u32);
+    for spec in specs {
+        let resp = client
+            .run(RunRequest {
+                spec,
+                scale: cli.scale,
+            })
+            .map_err(|e| e.to_string())?;
+        match resp {
+            Response::Ok(payload) => {
+                ok += 1;
+                let cycles = payload
+                    .get("total_cycles")
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0);
+                println!("ok   {} total_cycles={cycles}", spec.label());
+            }
+            Response::Busy {
+                queue_depth,
+                queue_limit,
+            } => {
+                busy += 1;
+                println!("busy {} ({queue_depth}/{queue_limit})", spec.label());
+            }
+            Response::Error { code, message } => {
+                failed += 1;
+                println!("err  {} {code}: {message}", spec.label());
+            }
+        }
+    }
+    println!("batch: {ok} ok, {busy} busy, {failed} errors");
+    Ok(if busy == 0 && failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_stats(cli: &Cli) -> Result<ExitCode, String> {
+    let mut client = connect(cli)?;
+    let payload = client.stats().map_err(|e| e.to_string())?;
+    print!("{}", payload.dump());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_simple(
+    cli: &Cli,
+    f: impl FnOnce(&mut Client) -> Result<String, omega_core::OmegaError>,
+) -> Result<ExitCode, String> {
+    let mut client = connect(cli)?;
+    let msg = f(&mut client).map_err(|e| e.to_string())?;
+    println!("{msg}");
+    Ok(ExitCode::SUCCESS)
+}

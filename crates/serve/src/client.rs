@@ -1,0 +1,93 @@
+//! A small blocking client for the `omega-serve/v1` protocol.
+//!
+//! One [`Client`] wraps one TCP connection; requests are issued
+//! strictly in sequence (the protocol has no pipelining). The batch
+//! CLI and the integration tests drive everything through this type,
+//! so the wire encoding lives in exactly two places: [`crate::proto`]
+//! and nowhere else.
+
+use crate::proto::{self, Request, Response, RunRequest};
+use crate::wire::{self, Frame};
+use omega_bench::Json;
+use omega_core::OmegaError;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, OmegaError> {
+        wire::write_frame(&mut self.stream, &proto::request_to_json(req))?;
+        match wire::read_frame(&mut self.stream, || false)? {
+            Frame::Doc(doc) => proto::response_from_json(&doc),
+            Frame::Eof | Frame::Cancelled => Err(OmegaError::Protocol(
+                "server closed the connection before responding".into(),
+            )),
+        }
+    }
+
+    /// Runs one experiment, returning the full wire response (so
+    /// callers can distinguish `busy` from hard errors).
+    pub fn run(&mut self, run: RunRequest) -> Result<Response, OmegaError> {
+        self.call(&Request::Run(run))
+    }
+
+    /// Runs one experiment and unwraps the report payload; `busy` and
+    /// error responses come back as the matching [`OmegaError`].
+    pub fn run_payload(&mut self, run: RunRequest) -> Result<Json, OmegaError> {
+        match self.run(run)? {
+            Response::Ok(payload) => Ok(payload),
+            Response::Busy {
+                queue_depth,
+                queue_limit,
+            } => Err(OmegaError::Busy {
+                queue_depth: queue_depth as usize,
+                queue_limit: queue_limit as usize,
+            }),
+            Response::Error { code, message } => {
+                Err(OmegaError::Internal(format!("{code}: {message}")))
+            }
+        }
+    }
+
+    /// Fetches the live service counters.
+    pub fn stats(&mut self) -> Result<Json, OmegaError> {
+        match self.call(&Request::Stats)? {
+            Response::Ok(payload) => Ok(payload),
+            other => Err(OmegaError::Protocol(format!(
+                "unexpected stats response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), OmegaError> {
+        match self.call(&Request::Ping)? {
+            Response::Ok(_) => Ok(()),
+            other => Err(OmegaError::Protocol(format!(
+                "unexpected ping response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to drain and exit. Returns once the server has
+    /// acknowledged (not once it has finished draining).
+    pub fn shutdown(&mut self) -> Result<(), OmegaError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ok(_) => Ok(()),
+            other => Err(OmegaError::Protocol(format!(
+                "unexpected shutdown response: {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Build-once registries and single-flight request coalescing.
+//!
+//! Both primitives answer the same question — "someone may already be
+//! producing what I need" — at two different lifetimes:
+//!
+//! * [`Registry`] caches **immutable snapshots** (CSR graphs,
+//!   functional traces) forever: the first requester builds, everyone
+//!   else blocks on the build and then shares the [`Arc`].
+//! * [`Flights`] coalesces **in-flight work**: while a replay for a
+//!   fingerprint is running, identical requests join the existing
+//!   [`Flight`] instead of enqueuing a duplicate; the entry disappears
+//!   as soon as the result is delivered (completed work lives in the
+//!   memo/store caches, not here).
+//!
+//! Everything is plain `Mutex` + `Condvar`; builds and replays run
+//! with no lock held, and a builder that panics wakes its waiters so
+//! one of them can take over rather than deadlocking the slot.
+
+use omega_bench::Json;
+use omega_core::OmegaError;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking holder never leaves these maps half-written (guards
+    // below restore invariants), so poisoning is not meaningful here.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+enum Slot<V> {
+    Building,
+    Ready(Arc<V>),
+}
+
+/// A build-once, share-forever cache keyed by `K`.
+pub struct Registry<K, V> {
+    slots: Mutex<HashMap<K, Slot<V>>>,
+    cv: Condvar,
+}
+
+impl<K: Eq + Hash + Clone, V> Default for Registry<K, V> {
+    fn default() -> Self {
+        Registry {
+            slots: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Registry<K, V> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached value for `key`, building it (outside any
+    /// lock) if this is the first request. Concurrent requesters for
+    /// the same key block until the one build finishes; if the builder
+    /// panics, the slot is released and a waiter becomes the builder.
+    pub fn get_or_build(&self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
+        let mut slots = lock(&self.slots);
+        loop {
+            match slots.get(&key) {
+                Some(Slot::Ready(v)) => return Arc::clone(v),
+                Some(Slot::Building) => {
+                    slots = self.cv.wait(slots).unwrap_or_else(|e| e.into_inner());
+                }
+                None => break,
+            }
+        }
+        slots.insert(key.clone(), Slot::Building);
+        drop(slots);
+
+        // Release the Building claim if `build` unwinds, so waiters
+        // retry instead of sleeping forever.
+        struct Claim<'a, K: Eq + Hash + Clone, V> {
+            reg: &'a Registry<K, V>,
+            key: K,
+            armed: bool,
+        }
+        impl<K: Eq + Hash + Clone, V> Drop for Claim<'_, K, V> {
+            fn drop(&mut self) {
+                if self.armed {
+                    lock(&self.reg.slots).remove(&self.key);
+                    self.reg.cv.notify_all();
+                }
+            }
+        }
+        let mut claim = Claim {
+            reg: self,
+            key: key.clone(),
+            armed: true,
+        };
+        let v = Arc::new(build());
+        claim.armed = false;
+        lock(&self.slots).insert(key, Slot::Ready(Arc::clone(&v)));
+        self.cv.notify_all();
+        v
+    }
+
+    /// Number of ready or building entries.
+    pub fn len(&self) -> usize {
+        lock(&self.slots).len()
+    }
+
+    /// Whether the registry holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What a flight delivers: the response payload document, or the error
+/// that ended it. Both sides are [`Arc`]-wrapped so every joiner gets
+/// the same allocation ([`OmegaError`] is deliberately not `Clone`).
+pub type FlightResult = Result<Arc<Json>, Arc<OmegaError>>;
+
+/// One in-flight computation, shared between its leader and followers.
+pub struct Flight {
+    state: Mutex<Option<FlightResult>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leader (or the worker acting for it) delivers.
+    pub fn wait(&self) -> FlightResult {
+        let mut state = lock(&self.state);
+        loop {
+            if let Some(result) = &*state {
+                return result.clone();
+            }
+            state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn deliver(&self, result: FlightResult) {
+        *lock(&self.state) = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// The caller's role in a flight.
+pub enum Ticket {
+    /// First requester: responsible for getting the work scheduled
+    /// (or for completing the flight with the scheduling failure).
+    Leader(Arc<Flight>),
+    /// The work was already in flight: just wait for the result.
+    Follower(Arc<Flight>),
+}
+
+/// The single-flight table, keyed by experiment fingerprint.
+#[derive(Default)]
+pub struct Flights {
+    inner: Mutex<HashMap<u64, Arc<Flight>>>,
+}
+
+impl Flights {
+    /// An empty table.
+    pub fn new() -> Flights {
+        Flights::default()
+    }
+
+    /// Joins the flight for `fp`, creating it (as leader) if absent.
+    pub fn join(&self, fp: u64) -> Ticket {
+        let mut inner = lock(&self.inner);
+        if let Some(f) = inner.get(&fp) {
+            return Ticket::Follower(Arc::clone(f));
+        }
+        let f = Arc::new(Flight::new());
+        inner.insert(fp, Arc::clone(&f));
+        Ticket::Leader(f)
+    }
+
+    /// Delivers `result` to everyone waiting on `fp` and retires the
+    /// flight. Callers must make the result visible in their own
+    /// caches (memo/store) **before** completing, so a request racing
+    /// the retirement finds the cache instead of starting a new
+    /// flight.
+    pub fn complete(&self, fp: u64, result: FlightResult) {
+        let f = lock(&self.inner).remove(&fp);
+        if let Some(f) = f {
+            f.deliver(result);
+        }
+    }
+
+    /// Number of open flights.
+    pub fn open(&self) -> usize {
+        lock(&self.inner).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn registry_builds_each_key_exactly_once_under_contention() {
+        let reg = Registry::<u32, u64>::new();
+        let builds = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let reg = &reg;
+                let builds = &builds;
+                s.spawn(move || {
+                    for key in 0..4u32 {
+                        let v = reg.get_or_build(key, || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so contenders pile
+                            // onto the Building slot.
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                            u64::from(key) * 100 + t
+                        });
+                        assert_eq!(*v / 100, u64::from(key));
+                    }
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 4, "one build per key");
+        assert_eq!(reg.len(), 4);
+    }
+
+    #[test]
+    fn registry_survives_a_panicking_builder() {
+        let reg = Registry::<&'static str, u32>::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.get_or_build("k", || panic!("builder died"));
+        }));
+        assert!(r.is_err());
+        // The slot was released: the next requester builds successfully.
+        assert_eq!(*reg.get_or_build("k", || 7), 7);
+    }
+
+    #[test]
+    fn flights_have_one_leader_and_deliver_to_all_followers() {
+        let flights = Flights::new();
+        let Ticket::Leader(leader) = flights.join(42) else {
+            panic!("first joiner must lead");
+        };
+        let followers: Vec<Arc<Flight>> = (0..5)
+            .map(|_| match flights.join(42) {
+                Ticket::Follower(f) => f,
+                Ticket::Leader(_) => panic!("flight already open"),
+            })
+            .collect();
+        assert_eq!(flights.open(), 1);
+
+        let payload = Arc::new(Json::Str("done".into()));
+        std::thread::scope(|s| {
+            for f in &followers {
+                let payload = &payload;
+                s.spawn(move || {
+                    let got = f.wait().expect("flight succeeded");
+                    assert!(Arc::ptr_eq(&got, payload), "all share one allocation");
+                });
+            }
+            flights.complete(42, Ok(Arc::clone(&payload)));
+        });
+        assert_eq!(flights.open(), 0, "completion retires the flight");
+        assert!(leader.wait().is_ok(), "late waiters still see the result");
+
+        // A fresh join after retirement starts a new flight.
+        assert!(matches!(flights.join(42), Ticket::Leader(_)));
+    }
+}

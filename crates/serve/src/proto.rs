@@ -1,0 +1,329 @@
+//! The `omega-serve/v1` request/response vocabulary.
+//!
+//! Requests are flat JSON objects carrying a `proto` tag, a `method`,
+//! and (for `run`) the experiment coordinates as the same names the
+//! CLI tools accept — parsing goes through the typed [`FromStr`]
+//! surface ([`Dataset`], [`AlgoKey`], [`MachineKind`],
+//! [`DatasetScale`]), so an unknown name becomes a structured
+//! `unknown-name` error on the wire instead of a stringly refusal.
+//!
+//! Responses share one envelope: `status` is `"ok"` (with a `payload`
+//! document), `"busy"` (with the queue depth/limit that caused the
+//! shed), or `"error"` (with the [`OmegaError::code`] and message).
+//! The envelope carries **no** variable fields — no timestamps, no
+//! request ids — so a warm (cache-served) response is byte-identical
+//! to the cold one that populated it.
+//!
+//! [`FromStr`]: std::str::FromStr
+
+use omega_bench::session::{AlgoKey, ExperimentSpec, MachineKind};
+use omega_bench::Json;
+use omega_core::OmegaError;
+use omega_graph::datasets::{Dataset, DatasetScale};
+
+/// The protocol tag every frame must carry.
+pub const PROTO: &str = "omega-serve/v1";
+
+/// Schema tag of the `stats` payload document.
+pub const STATS_SCHEMA: &str = "omega-serve-stats/v1";
+
+/// One `run` request: which experiment, at which scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunRequest {
+    /// The experiment coordinates (dataset, algorithm, machine).
+    pub spec: ExperimentSpec,
+    /// The dataset scale to build and simulate at.
+    pub scale: DatasetScale,
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Run (or fetch) one experiment and return its run report.
+    Run(RunRequest),
+    /// Return the live service counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Drain queued and in-flight work, then exit.
+    Shutdown,
+}
+
+/// A parsed server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success; the payload is method-specific (`omega-run-report/v1`
+    /// for `run`, [`STATS_SCHEMA`] for `stats`, small ack objects for
+    /// `ping` / `shutdown`).
+    Ok(Json),
+    /// The admission queue was full; the request was shed unserved.
+    Busy {
+        /// Queue occupancy observed at rejection time.
+        queue_depth: u64,
+        /// The configured queue capacity.
+        queue_limit: u64,
+    },
+    /// The request failed; `code` is the stable [`OmegaError::code`].
+    Error {
+        /// Machine-readable error class.
+        code: String,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Maps an error onto the wire: [`OmegaError::Busy`] becomes the
+    /// structured busy response, everything else an error envelope.
+    pub fn from_error(e: &OmegaError) -> Response {
+        match e {
+            OmegaError::Busy {
+                queue_depth,
+                queue_limit,
+            } => Response::Busy {
+                queue_depth: *queue_depth as u64,
+                queue_limit: *queue_limit as u64,
+            },
+            other => Response::Error {
+                code: other.code().to_string(),
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+fn envelope() -> Json {
+    let mut o = Json::obj();
+    o.set("proto", Json::Str(PROTO.to_string()));
+    o
+}
+
+fn str_field<'a>(doc: &'a Json, key: &'static str) -> Result<&'a str, OmegaError> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| OmegaError::Protocol(format!("missing or non-string `{key}` field")))
+}
+
+fn check_proto(doc: &Json) -> Result<(), OmegaError> {
+    let tag = str_field(doc, "proto")?;
+    if tag != PROTO {
+        return Err(OmegaError::Protocol(format!(
+            "protocol `{tag}` is not `{PROTO}`"
+        )));
+    }
+    Ok(())
+}
+
+/// Serialises a request for the wire.
+pub fn request_to_json(req: &Request) -> Json {
+    let mut o = envelope();
+    match req {
+        Request::Run(r) => {
+            o.set("method", Json::Str("run".to_string()));
+            o.set("dataset", Json::Str(r.spec.dataset.code().to_string()));
+            o.set("algo", Json::Str(r.spec.algo.code().to_string()));
+            o.set("machine", Json::Str(r.spec.machine.label()));
+            o.set("scale", Json::Str(r.scale.code().to_string()));
+        }
+        Request::Stats => {
+            o.set("method", Json::Str("stats".to_string()));
+        }
+        Request::Ping => {
+            o.set("method", Json::Str("ping".to_string()));
+        }
+        Request::Shutdown => {
+            o.set("method", Json::Str("shutdown".to_string()));
+        }
+    }
+    o
+}
+
+/// Parses a request document. Unknown methods and unknown experiment
+/// coordinates surface as structured [`OmegaError::UnknownName`]
+/// boundary errors; malformed envelopes as `protocol` errors.
+pub fn request_from_json(doc: &Json) -> Result<Request, OmegaError> {
+    check_proto(doc)?;
+    match str_field(doc, "method")? {
+        "run" => {
+            let dataset: Dataset = str_field(doc, "dataset")?
+                .parse()
+                .map_err(OmegaError::from)?;
+            let algo: AlgoKey = str_field(doc, "algo")?.parse()?;
+            let machine: MachineKind = match doc.get("machine").and_then(Json::as_str) {
+                Some(m) => m.parse()?,
+                None => MachineKind::Omega,
+            };
+            let scale: DatasetScale = match doc.get("scale").and_then(Json::as_str) {
+                Some(s) => s.parse().map_err(OmegaError::from)?,
+                None => DatasetScale::Small,
+            };
+            Ok(Request::Run(RunRequest {
+                spec: ExperimentSpec::new(dataset, algo, machine),
+                scale,
+            }))
+        }
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(OmegaError::unknown_name(
+            "method",
+            other,
+            "run, stats, ping, shutdown",
+        )),
+    }
+}
+
+/// Serialises a response for the wire.
+pub fn response_to_json(resp: &Response) -> Json {
+    let mut o = envelope();
+    match resp {
+        Response::Ok(payload) => {
+            o.set("status", Json::Str("ok".to_string()));
+            o.set("payload", payload.clone());
+        }
+        Response::Busy {
+            queue_depth,
+            queue_limit,
+        } => {
+            o.set("status", Json::Str("busy".to_string()));
+            o.set("queue_depth", Json::Num(*queue_depth as f64));
+            o.set("queue_limit", Json::Num(*queue_limit as f64));
+        }
+        Response::Error { code, message } => {
+            o.set("status", Json::Str("error".to_string()));
+            o.set("code", Json::Str(code.clone()));
+            o.set("message", Json::Str(message.clone()));
+        }
+    }
+    o
+}
+
+/// Parses a response document (the client side of the wire).
+pub fn response_from_json(doc: &Json) -> Result<Response, OmegaError> {
+    check_proto(doc)?;
+    match str_field(doc, "status")? {
+        "ok" => {
+            let payload = doc
+                .get("payload")
+                .ok_or_else(|| OmegaError::Protocol("ok response without payload".into()))?;
+            Ok(Response::Ok(payload.clone()))
+        }
+        "busy" => {
+            let depth = doc.get("queue_depth").and_then(Json::as_u64);
+            let limit = doc.get("queue_limit").and_then(Json::as_u64);
+            match (depth, limit) {
+                (Some(queue_depth), Some(queue_limit)) => Ok(Response::Busy {
+                    queue_depth,
+                    queue_limit,
+                }),
+                _ => Err(OmegaError::Protocol(
+                    "busy response without queue depth/limit".into(),
+                )),
+            }
+        }
+        "error" => Ok(Response::Error {
+            code: str_field(doc, "code")?.to_string(),
+            message: str_field(doc, "message")?.to_string(),
+        }),
+        other => Err(OmegaError::Protocol(format!(
+            "unknown response status `{other}`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_requests_roundtrip_with_defaults() {
+        let req = Request::Run(RunRequest {
+            spec: ExperimentSpec::new(Dataset::Sd, AlgoKey::PageRank, MachineKind::Omega),
+            scale: DatasetScale::Tiny,
+        });
+        let doc = request_to_json(&req);
+        assert_eq!(request_from_json(&doc).unwrap(), req);
+
+        // machine and scale are optional: omega at small scale.
+        let mut minimal = Json::obj();
+        minimal.set("proto", Json::Str(PROTO.into()));
+        minimal.set("method", Json::Str("run".into()));
+        minimal.set("dataset", Json::Str("sd".into()));
+        minimal.set("algo", Json::Str("bfs".into()));
+        let Request::Run(r) = request_from_json(&minimal).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(r.spec.machine, MachineKind::Omega);
+        assert_eq!(r.scale, DatasetScale::Small);
+    }
+
+    #[test]
+    fn unknown_names_become_structured_boundary_errors() {
+        let mut doc = request_to_json(&Request::Ping);
+        doc.set("method", Json::Str("explode".into()));
+        let err = request_from_json(&doc).unwrap_err();
+        assert_eq!(err.code(), "unknown-name");
+        assert!(err.to_string().contains("shutdown"), "{err}");
+
+        let mut doc = Json::obj();
+        doc.set("proto", Json::Str(PROTO.into()));
+        doc.set("method", Json::Str("run".into()));
+        doc.set("dataset", Json::Str("not-a-graph".into()));
+        doc.set("algo", Json::Str("pagerank".into()));
+        let err = request_from_json(&doc).unwrap_err();
+        assert_eq!(err.code(), "unknown-name");
+
+        doc.set("dataset", Json::Str("sd".into()));
+        doc.set("algo", Json::Str("dijkstra".into()));
+        let err = request_from_json(&doc).unwrap_err();
+        assert_eq!(err.code(), "unknown-name");
+        assert!(err.to_string().contains("pagerank"), "{err}");
+    }
+
+    #[test]
+    fn wrong_proto_tag_is_rejected() {
+        let mut doc = request_to_json(&Request::Ping);
+        doc.set("proto", Json::Str("omega-serve/v0".into()));
+        assert_eq!(request_from_json(&doc).unwrap_err().code(), "protocol");
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let mut payload = Json::obj();
+        payload.set("pong", Json::Bool(true));
+        for resp in [
+            Response::Ok(payload),
+            Response::Busy {
+                queue_depth: 4,
+                queue_limit: 4,
+            },
+            Response::Error {
+                code: "unknown-name".into(),
+                message: "unknown dataset `x`".into(),
+            },
+        ] {
+            let doc = response_to_json(&resp);
+            assert_eq!(response_from_json(&doc).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn busy_maps_from_the_workspace_error() {
+        let resp = Response::from_error(&OmegaError::Busy {
+            queue_depth: 8,
+            queue_limit: 8,
+        });
+        assert_eq!(
+            resp,
+            Response::Busy {
+                queue_depth: 8,
+                queue_limit: 8
+            }
+        );
+        let resp = Response::from_error(&OmegaError::ShuttingDown);
+        let Response::Error { code, .. } = resp else {
+            panic!("expected error envelope");
+        };
+        assert_eq!(code, "shutting-down");
+    }
+}

@@ -1,0 +1,602 @@
+//! The service: accept loop, bounded admission, worker pool, caches.
+//!
+//! ```text
+//!   accept thread ──► connection threads (one per client)
+//!                          │  parse request, check memo/store  ──► hit
+//!                          │  join single-flight table
+//!                          ▼
+//!                    bounded queue ──► shed `busy` when full
+//!                          │
+//!                    worker pool (workers × staging ≤ jobs)
+//!                          │  graph/trace registries (build once)
+//!                          │  replay, persist, memoise
+//!                          ▼
+//!                    flight completion ──► every waiter responds
+//! ```
+//!
+//! The accept loop never does work and the queue never grows past its
+//! configured depth, so overload degrades to fast structured `busy`
+//! responses instead of memory growth or connect timeouts. Shutdown
+//! (`shutdown` request) closes the queue, stops accepting, and drains:
+//! every admitted request still receives its response.
+
+use crate::flight::{FlightResult, Flights, Registry, Ticket};
+use crate::proto::{self, Request, Response, RunRequest, STATS_SCHEMA};
+use crate::wire::{self, Frame};
+use omega_bench::session::ExperimentSpec;
+use omega_bench::{run_report_to_json, ExperimentStore, Json};
+use omega_core::config::SystemConfig;
+use omega_core::runner::{replay_report_parallel, trace_algorithm};
+use omega_core::OmegaError;
+use omega_graph::datasets::{Dataset, DatasetScale};
+use omega_graph::CsrGraph;
+use omega_ligra::trace::{RawTrace, TraceMeta};
+use omega_ligra::ExecConfig;
+use omega_sim::obs;
+use omega_sim::telemetry::TelemetryConfig;
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the server is sized and where it listens.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`ServerHandle::addr`] for the actual one).
+    pub addr: String,
+    /// Total parallelism budget, split between concurrent workers and
+    /// intra-replay staging exactly like `Session::prefetch`:
+    /// `workers × staging ≤ jobs`, so the budget is never
+    /// oversubscribed.
+    pub jobs: usize,
+    /// Worker-pool size; 0 sizes it automatically (`min(jobs, 4)`).
+    pub workers: usize,
+    /// Admission-queue capacity. A full queue sheds with `busy`.
+    pub queue_depth: usize,
+    /// Persistent experiment store shared with the batch tools.
+    pub store: Option<PathBuf>,
+    /// Test hook: artificial delay inside each computed job, to make
+    /// in-flight windows wide enough for deterministic concurrency
+    /// tests on any machine.
+    pub job_delay_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 1,
+            workers: 0,
+            queue_depth: 8,
+            store: None,
+            job_delay_ms: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Actual worker-pool size after the auto rule.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            self.jobs.clamp(1, 4)
+        }
+    }
+
+    /// Intra-replay staging parallelism handed to each worker.
+    pub fn effective_staging(&self) -> usize {
+        (self.jobs.max(1) / self.effective_workers()).max(1)
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One admitted unit of work.
+struct Job {
+    fp: u64,
+    spec: ExperimentSpec,
+    scale: DatasetScale,
+}
+
+enum Admission {
+    Queued,
+    /// Occupancy at rejection time.
+    Full(usize),
+    Closed,
+}
+
+/// Fixed-capacity FIFO feeding the worker pool. `close` stops intake
+/// but lets workers drain what was already admitted.
+struct Queue {
+    inner: Mutex<(VecDeque<Job>, bool)>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl Queue {
+    fn new(cap: usize) -> Queue {
+        Queue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn try_push(&self, job: Job) -> Admission {
+        let mut inner = lock(&self.inner);
+        if inner.1 {
+            return Admission::Closed;
+        }
+        if inner.0.len() >= self.cap {
+            return Admission::Full(inner.0.len());
+        }
+        inner.0.push_back(job);
+        self.cv.notify_one();
+        Admission::Queued
+    }
+
+    /// Blocks for the next job; `None` once closed **and** drained.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = lock(&self.inner);
+        loop {
+            if let Some(job) = inner.0.pop_front() {
+                return Some(job);
+            }
+            if inner.1 {
+                return None;
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        lock(&self.inner).1 = true;
+        self.cv.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        lock(&self.inner).0.len()
+    }
+}
+
+/// Live service counters, mirrored into the obs layer (when profiling
+/// is on) under `serve.*` names.
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+    inflight: AtomicU64,
+}
+
+impl Counters {
+    fn bump(&self, which: &'static str, cell: &AtomicU64) {
+        cell.fetch_add(1, Ordering::Relaxed);
+        obs::counter_add(which, 1);
+    }
+}
+
+/// A functional trace plus everything needed to replay it.
+struct TraceBundle {
+    checksum: f64,
+    raw: RawTrace,
+    meta: TraceMeta,
+}
+
+struct ServerState {
+    config: ServeConfig,
+    addr: SocketAddr,
+    store: Option<ExperimentStore>,
+    graphs: Registry<(Dataset, DatasetScale), Result<CsrGraph, String>>,
+    traces: Registry<(Dataset, &'static str, DatasetScale), Result<TraceBundle, String>>,
+    /// Response payloads by fingerprint — the in-process memo. Holding
+    /// the serialised payload (not the report) makes warm responses
+    /// trivially byte-identical to the cold ones that filled it.
+    memo: Mutex<HashMap<u64, Arc<Json>>>,
+    flights: Flights,
+    queue: Queue,
+    counters: Counters,
+    shutting_down: AtomicBool,
+}
+
+impl ServerState {
+    fn telemetry() -> TelemetryConfig {
+        TelemetryConfig::off()
+    }
+
+    /// Mirrors `Session::system_for`: the machine with the service's
+    /// telemetry setting applied, so fingerprints (and therefore store
+    /// entries) are shared with the batch tools.
+    fn system_for(spec: ExperimentSpec) -> SystemConfig {
+        let mut sys = spec.machine.system();
+        sys.machine.telemetry = Self::telemetry();
+        sys
+    }
+
+    fn draining(&self) -> bool {
+        self.shutting_down.load(Ordering::Relaxed)
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// send a `shutdown` request (or use [`Client::shutdown`]) and then
+/// [`ServerHandle::wait`].
+///
+/// [`Client::shutdown`]: crate::client::Client::shutdown
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Blocks until the server has fully drained and every thread has
+    /// exited. Only returns after a `shutdown` request was processed.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // No new connection threads spawn once the accept loop exited.
+        loop {
+            let Some(conn) = lock(&self.conns).pop() else {
+                break;
+            };
+            let _ = conn.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Binds, spawns the accept loop and worker pool, and returns.
+pub fn serve(config: ServeConfig) -> Result<ServerHandle, OmegaError> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let store = match &config.store {
+        Some(root) => Some(ExperimentStore::open(root)?),
+        None => None,
+    };
+    let queue = Queue::new(config.queue_depth);
+    let state = Arc::new(ServerState {
+        addr,
+        store,
+        graphs: Registry::new(),
+        traces: Registry::new(),
+        memo: Mutex::new(HashMap::new()),
+        flights: Flights::new(),
+        queue,
+        counters: Counters::default(),
+        shutting_down: AtomicBool::new(false),
+        config,
+    });
+
+    let workers = (0..state.config.effective_workers())
+        .map(|i| {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("omega-serve-worker-{i}"))
+                .spawn(move || worker_loop(&state))
+                .expect("spawning a worker thread")
+        })
+        .collect();
+
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept = {
+        let state = Arc::clone(&state);
+        let conns = Arc::clone(&conns);
+        std::thread::Builder::new()
+            .name("omega-serve-accept".to_string())
+            .spawn(move || accept_loop(listener, &state, &conns))
+            .expect("spawning the accept thread")
+    };
+
+    Ok(ServerHandle {
+        state,
+        accept: Some(accept),
+        workers,
+        conns,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    state: &Arc<ServerState>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if state.draining() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(state);
+        let handle = std::thread::Builder::new()
+            .name("omega-serve-conn".to_string())
+            .spawn(move || connection_loop(&state, stream));
+        match handle {
+            Ok(h) => lock(conns).push(h),
+            Err(e) => eprintln!("omega-serve: failed to spawn connection thread: {e}"),
+        }
+    }
+}
+
+fn connection_loop(state: &Arc<ServerState>, mut stream: TcpStream) {
+    // The timeout bounds how long an idle connection takes to notice
+    // shutdown; it does not bound request handling.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = wire::read_frame(&mut stream, || state.draining());
+        let doc = match frame {
+            Ok(Frame::Doc(doc)) => doc,
+            Ok(Frame::Eof) | Ok(Frame::Cancelled) => break,
+            Err(e) => {
+                // Tell the peer what was wrong with its bytes, then
+                // hang up: framing is unrecoverable after an error.
+                let resp = Response::from_error(&e);
+                let _ = wire::write_frame(&mut stream, &proto::response_to_json(&resp));
+                break;
+            }
+        };
+        let _span = obs::span("serve.request");
+        let resp = handle_request(state, &doc);
+        if wire::write_frame(&mut stream, &proto::response_to_json(&resp)).is_err() {
+            break;
+        }
+    }
+}
+
+fn handle_request(state: &Arc<ServerState>, doc: &Json) -> Response {
+    let c = &state.counters;
+    c.bump("serve.requests", &c.requests);
+    let request = match proto::request_from_json(doc) {
+        Ok(r) => r,
+        Err(e) => {
+            c.bump("serve.errors", &c.errors);
+            return Response::from_error(&e);
+        }
+    };
+    match request {
+        Request::Ping => {
+            let mut payload = Json::obj();
+            payload.set("pong", Json::Bool(true));
+            Response::Ok(payload)
+        }
+        Request::Stats => Response::Ok(stats_payload(state)),
+        Request::Shutdown => {
+            begin_shutdown(state);
+            let mut payload = Json::obj();
+            payload.set("draining", Json::Bool(true));
+            Response::Ok(payload)
+        }
+        Request::Run(run) => match run_request(state, run) {
+            Ok(payload) => Response::Ok((*payload).clone()),
+            Err(e) => {
+                match *e {
+                    OmegaError::Busy { .. } => {}
+                    _ => c.bump("serve.errors", &c.errors),
+                }
+                Response::from_error(&e)
+            }
+        },
+    }
+}
+
+/// The `run` path: memo → store → single-flight admission.
+fn run_request(state: &Arc<ServerState>, run: RunRequest) -> FlightResult {
+    let c = &state.counters;
+    let fp = run.spec.fingerprint(run.scale, ServerState::telemetry());
+
+    if let Some(payload) = lock(&state.memo).get(&fp) {
+        c.bump("serve.hits", &c.hits);
+        return Ok(Arc::clone(payload));
+    }
+    if let Some(store) = &state.store {
+        if let Some(report) = store.load_report(fp) {
+            let payload = Arc::new(run_report_to_json(
+                &report,
+                &ServerState::system_for(run.spec),
+            ));
+            lock(&state.memo).insert(fp, Arc::clone(&payload));
+            c.bump("serve.hits", &c.hits);
+            return Ok(payload);
+        }
+    }
+
+    match state.flights.join(fp) {
+        Ticket::Follower(flight) => {
+            c.bump("serve.coalesced", &c.coalesced);
+            flight.wait()
+        }
+        Ticket::Leader(flight) => {
+            let admission = state.queue.try_push(Job {
+                fp,
+                spec: run.spec,
+                scale: run.scale,
+            });
+            match admission {
+                Admission::Queued => flight.wait(),
+                Admission::Full(depth) => {
+                    c.bump("serve.shed", &c.shed);
+                    let err = Arc::new(OmegaError::Busy {
+                        queue_depth: depth,
+                        queue_limit: state.config.queue_depth,
+                    });
+                    state.flights.complete(fp, Err(Arc::clone(&err)));
+                    Err(err)
+                }
+                Admission::Closed => {
+                    let err = Arc::new(OmegaError::ShuttingDown);
+                    state.flights.complete(fp, Err(Arc::clone(&err)));
+                    Err(err)
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(state: &Arc<ServerState>) {
+    let c = &state.counters;
+    while let Some(job) = state.queue.pop() {
+        c.inflight.fetch_add(1, Ordering::Relaxed);
+        let _span = obs::span_owned(format!("serve.compute:{}", job.spec.label()));
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compute(state, &job)));
+        let result: FlightResult = match outcome {
+            Ok(r) => r,
+            Err(_) => Err(Arc::new(OmegaError::Internal(format!(
+                "worker panicked computing {}",
+                job.spec.label()
+            )))),
+        };
+        match &result {
+            Ok(_) => c.bump("serve.misses", &c.misses),
+            Err(_) => c.bump("serve.errors", &c.errors),
+        }
+        // Memo first (inside `compute`), then flight retirement: a
+        // racing request either joins the flight or hits the memo.
+        state.flights.complete(job.fp, result);
+        c.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Builds (or fetches) everything an experiment needs and replays it.
+fn compute(state: &Arc<ServerState>, job: &Job) -> FlightResult {
+    if state.config.job_delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(state.config.job_delay_ms));
+    }
+    let d = job.spec.dataset;
+    let graph = state.graphs.get_or_build((d, job.scale), || {
+        d.build(job.scale).map_err(|e| e.to_string())
+    });
+    let g = match graph.as_ref() {
+        Ok(g) => g,
+        Err(e) => {
+            return Err(Arc::new(OmegaError::Internal(format!(
+                "building {}: {e}",
+                d.code()
+            ))))
+        }
+    };
+    let algo = job.spec.algo.algo(g);
+    if !algo.supports(g) {
+        return Err(Arc::new(OmegaError::Unsupported(format!(
+            "{} needs an undirected graph; {} is directed",
+            job.spec.algo.name(),
+            d.code()
+        ))));
+    }
+    // One functional trace per (dataset, algo, scale), shared by every
+    // machine — all machine configurations use the same core count
+    // (the same assumption `Session::prefetch` makes).
+    let bundle = state
+        .traces
+        .get_or_build((d, job.spec.algo.name(), job.scale), || {
+            let exec = ExecConfig {
+                n_cores: job.spec.machine.system().machine.core.n_cores,
+                ..ExecConfig::default()
+            };
+            let (checksum, raw, meta) = trace_algorithm(g, algo, &exec);
+            Ok(TraceBundle {
+                checksum,
+                raw,
+                meta,
+            })
+        });
+    let bundle = match bundle.as_ref() {
+        Ok(b) => b,
+        Err(e) => {
+            return Err(Arc::new(OmegaError::Internal(format!(
+                "tracing {}: {e}",
+                job.spec.label()
+            ))))
+        }
+    };
+    let system = ServerState::system_for(job.spec);
+    let report = replay_report_parallel(
+        algo.name(),
+        bundle.checksum,
+        &bundle.raw,
+        &bundle.meta,
+        &system,
+        state.config.effective_staging(),
+    );
+    if let Some(store) = &state.store {
+        if let Err(e) = store.store_report(job.fp, &job.spec.label(), &report) {
+            eprintln!(
+                "omega-serve: warning: failed to persist {}: {e}",
+                job.spec.label()
+            );
+        }
+    }
+    let payload = Arc::new(run_report_to_json(&report, &system));
+    lock(&state.memo).insert(job.fp, Arc::clone(&payload));
+    Ok(payload)
+}
+
+fn begin_shutdown(state: &Arc<ServerState>) {
+    if state.shutting_down.swap(true, Ordering::SeqCst) {
+        return; // already draining
+    }
+    state.queue.close();
+    // The accept loop is blocked in `incoming`; poke it awake so it
+    // observes the flag and exits.
+    let _ = TcpStream::connect(state.addr);
+}
+
+fn num(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+fn stats_payload(state: &Arc<ServerState>) -> Json {
+    let c = &state.counters;
+    let mut o = Json::obj();
+    o.set("schema", Json::Str(STATS_SCHEMA.to_string()));
+    o.set("requests", num(c.requests.load(Ordering::Relaxed)));
+    o.set("hits", num(c.hits.load(Ordering::Relaxed)));
+    o.set("misses", num(c.misses.load(Ordering::Relaxed)));
+    o.set("coalesced", num(c.coalesced.load(Ordering::Relaxed)));
+    o.set("shed", num(c.shed.load(Ordering::Relaxed)));
+    o.set("errors", num(c.errors.load(Ordering::Relaxed)));
+    o.set("inflight", num(c.inflight.load(Ordering::Relaxed)));
+    o.set("queue_depth", num(state.queue.depth() as u64));
+    o.set("queue_limit", num(state.config.queue_depth as u64));
+    o.set("open_flights", num(state.flights.open() as u64));
+    o.set("workers", num(state.config.effective_workers() as u64));
+    o.set("staging", num(state.config.effective_staging() as u64));
+    o.set("draining", Json::Bool(state.draining()));
+    if let Some(store) = &state.store {
+        let sc = store.counters();
+        let mut s = Json::obj();
+        s.set("hits", num(sc.hits));
+        s.set("misses", num(sc.misses));
+        s.set("corrupt", num(sc.corrupt));
+        s.set("writes", num(sc.writes));
+        o.set("store", s);
+    }
+    let live = obs::counters_snapshot();
+    if !live.is_empty() {
+        let mut counters = Json::obj();
+        for (name, value) in live {
+            counters.set(&name, num(value));
+        }
+        o.set("obs", counters);
+    }
+    o
+}

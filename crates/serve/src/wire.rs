@@ -1,0 +1,175 @@
+//! Length-prefixed JSON framing.
+//!
+//! Every message is one JSON document preceded by its UTF-8 byte length
+//! as a 4-byte big-endian integer. The format is trivially debuggable
+//! (`xxd` shows the length, the rest is plain text), self-delimiting
+//! over a byte stream, and needs nothing beyond [`omega_bench::json`].
+//!
+//! Reads cooperate with shutdown: a reader blocked **between** frames
+//! (no header byte consumed yet) returns [`Frame::Cancelled`] once the
+//! supplied cancel predicate trips, while a cancel **mid-frame** is a
+//! protocol error — the peer walked away half-way through a message.
+//! The predicate is only consulted when the underlying stream yields
+//! timeout-flavoured errors, so sockets must have a read timeout set
+//! for cancellation to be responsive.
+
+use omega_bench::Json;
+use omega_core::OmegaError;
+use std::io::{ErrorKind, Read, Write};
+
+/// Upper bound on a single frame's body. A run report for the largest
+/// in-tree dataset is a few hundred KiB; anything near this cap is a
+/// corrupt or hostile length prefix, not a real message.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// One read attempt's outcome.
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete JSON document.
+    Doc(Json),
+    /// The stream ended cleanly on a frame boundary.
+    Eof,
+    /// The cancel predicate tripped while idle between frames.
+    Cancelled,
+}
+
+/// Serialises `doc` as one frame.
+pub fn write_frame(w: &mut impl Write, doc: &Json) -> std::io::Result<()> {
+    let body = doc.dump();
+    let len = body.len() as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+enum Fill {
+    Done,
+    Eof,
+    Cancelled,
+}
+
+/// Reads exactly `buf.len()` bytes, tolerating timeouts. `at_boundary`
+/// marks whether a clean EOF / cancel is acceptable (true only before
+/// the first byte of a frame).
+fn fill(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    at_boundary: bool,
+    cancel: &impl Fn() -> bool,
+) -> Result<Fill, OmegaError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if at_boundary && filled == 0 {
+                    Ok(Fill::Eof)
+                } else {
+                    Err(OmegaError::Protocol("stream ended mid-frame".into()))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                if cancel() {
+                    return if at_boundary && filled == 0 {
+                        Ok(Fill::Cancelled)
+                    } else {
+                        Err(OmegaError::Protocol("cancelled mid-frame".into()))
+                    };
+                }
+            }
+            Err(e) => return Err(OmegaError::Io(e)),
+        }
+    }
+    Ok(Fill::Done)
+}
+
+/// Reads the next frame. See the module docs for the cancel contract.
+pub fn read_frame(r: &mut impl Read, cancel: impl Fn() -> bool) -> Result<Frame, OmegaError> {
+    let mut header = [0u8; 4];
+    match fill(r, &mut header, true, &cancel)? {
+        Fill::Done => {}
+        Fill::Eof => return Ok(Frame::Eof),
+        Fill::Cancelled => return Ok(Frame::Cancelled),
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(OmegaError::Protocol(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte cap"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    match fill(r, &mut body, false, &cancel)? {
+        Fill::Done => {}
+        // Unreachable: mid-frame EOF/cancel already errored inside fill.
+        Fill::Eof | Fill::Cancelled => {
+            return Err(OmegaError::Protocol("stream ended mid-frame".into()))
+        }
+    }
+    let text = String::from_utf8(body)
+        .map_err(|_| OmegaError::Protocol("frame body is not UTF-8".into()))?;
+    let doc = Json::parse(&text)
+        .map_err(|e| OmegaError::Protocol(format!("frame body is not JSON: {e}")))?;
+    Ok(Frame::Doc(doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn never() -> bool {
+        false
+    }
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut a = Json::obj();
+        a.set("x", Json::Num(1.0));
+        let b = Json::Arr(vec![Json::Str("two".into()), Json::Bool(true)]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &a).unwrap();
+        write_frame(&mut buf, &b).unwrap();
+
+        let mut r = Cursor::new(buf);
+        let Frame::Doc(got_a) = read_frame(&mut r, never).unwrap() else {
+            panic!("expected first doc");
+        };
+        let Frame::Doc(got_b) = read_frame(&mut r, never).unwrap() else {
+            panic!("expected second doc");
+        };
+        assert_eq!(got_a, a);
+        assert_eq!(got_b, b);
+        assert!(matches!(read_frame(&mut r, never).unwrap(), Frame::Eof));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_a_protocol_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        let err = read_frame(&mut Cursor::new(buf), never).unwrap_err();
+        assert_eq!(err.code(), "protocol");
+        assert!(err.to_string().contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_protocol_errors() {
+        // Header promises 8 bytes, stream has 3.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        let err = read_frame(&mut Cursor::new(buf), never).unwrap_err();
+        assert_eq!(err.code(), "protocol");
+
+        // Correct length, body is not JSON.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_be_bytes());
+        buf.extend_from_slice(b"{{{");
+        let err = read_frame(&mut Cursor::new(buf), never).unwrap_err();
+        assert_eq!(err.code(), "protocol");
+    }
+}

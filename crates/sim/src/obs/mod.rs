@@ -292,6 +292,17 @@ pub fn counter_add(name: &'static str, v: u64) {
     *r.counters.entry(name.to_string()).or_insert(0) += v;
 }
 
+/// The named counters' current values, sorted by name, *without* draining
+/// or disabling anything — the live view a long-running service (the
+/// `omega-serve` `stats` method) reads while spans keep recording. Empty
+/// when profiling is off.
+pub fn counters_snapshot() -> Vec<(String, u64)> {
+    let r = registry();
+    let mut v: Vec<(String, u64)> = r.counters.iter().map(|(k, &n)| (k.clone(), n)).collect();
+    v.sort();
+    v
+}
+
 pub(crate) fn record_close(
     name: &str,
     t: u64,

@@ -117,7 +117,14 @@ fn counters_accumulate_and_sort() {
     obs::enable(true, false);
     obs::counter_add("test.zeta", 1);
     obs::counter_add("test.alpha", 2);
+    // A snapshot sees the live values mid-run without perturbing them...
+    let live = obs::counters_snapshot();
+    assert_eq!(
+        live,
+        vec![("test.alpha".to_string(), 2), ("test.zeta".to_string(), 1)]
+    );
     obs::counter_add("test.zeta", 3);
+    // ...and the layer keeps accumulating after it.
     let dump = obs::drain();
     let got: Vec<(&str, u64)> = dump
         .counters
@@ -125,6 +132,10 @@ fn counters_accumulate_and_sort() {
         .map(|(n, v)| (n.as_str(), *v))
         .collect();
     assert_eq!(got, vec![("test.alpha", 2), ("test.zeta", 4)]);
+    assert!(
+        obs::counters_snapshot().is_empty(),
+        "drain clears the counters"
+    );
 }
 
 #[test]

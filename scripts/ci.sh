@@ -57,7 +57,8 @@ echo "ci: wrote target/trace-sample.json"
 # --jobs 4 runs the cold sweep through the parallel prefetch/staging path,
 # so the gate also proves parallel replay feeds the store bit-identically.
 store_dir=$(mktemp -d)
-trap 'rm -rf "$store_dir"' EXIT
+serve_pid=""
+trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$store_dir"' EXIT
 # The cold run doubles as observability gate part 2: it writes the
 # self-profile report (a CI artifact) while the warm run stays obs-off —
 # the stdout cmp then also proves profiling never leaks into results.
@@ -78,5 +79,46 @@ esac
   > target/store-verify.json
 echo "ci: wrote target/figures-{cold,warm}.txt, target/profile-report.json,"
 echo "ci:   and target/store-verify.json"
+
+# Service smoke: boot omega-serve against the store the figure sweep just
+# warmed, run the same batch twice over the wire, and require (a) the two
+# batch outputs byte-identical (cache-served responses match computed
+# ones), (b) zero shed and a non-zero hit count on the second pass, and
+# (c) a clean drain on shutdown. The server self-profiles for the whole
+# lifetime; the profile report is a CI artifact.
+rm -f target/serve-port
+./target/release/omega-serve --addr 127.0.0.1:0 --port-file target/serve-port \
+  --store "$store_dir/store" --jobs 2 --queue-depth 8 \
+  --profile-out target/serve-profile.json &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -s target/serve-port ] && break
+  sleep 0.1
+done
+serve_addr=$(cat target/serve-port)
+batch="sd:pagerank:baseline sd:pagerank:omega sd:bfs:omega sd:bfs:baseline"
+./target/release/omega-client ping --addr "$serve_addr"
+# shellcheck disable=SC2086
+./target/release/omega-client batch --addr "$serve_addr" --scale tiny $batch \
+  > target/serve-batch-cold.txt
+# shellcheck disable=SC2086
+./target/release/omega-client batch --addr "$serve_addr" --scale tiny $batch \
+  > target/serve-batch-warm.txt
+cmp target/serve-batch-cold.txt target/serve-batch-warm.txt
+./target/release/omega-client stats --addr "$serve_addr" \
+  > target/serve-stats.json
+hits=$(grep -o '"hits": [0-9]*' target/serve-stats.json | head -1 \
+  | grep -o '[0-9]*$')
+shed=$(grep -o '"shed": [0-9]*' target/serve-stats.json | head -1 \
+  | grep -o '[0-9]*$')
+echo "ci: serve smoke hits=$hits shed=$shed"
+[ "$shed" -eq 0 ] || { echo "ci: serve shed requests under a sequential batch" >&2; exit 1; }
+[ "$hits" -gt 0 ] || { echo "ci: warm batch produced no cache hits" >&2; exit 1; }
+./target/release/omega-client shutdown --addr "$serve_addr"
+wait "$serve_pid"
+serve_pid=""
+[ -s target/serve-profile.json ] || { echo "ci: missing serve profile artifact" >&2; exit 1; }
+echo "ci: wrote target/serve-batch-{cold,warm}.txt, target/serve-stats.json,"
+echo "ci:   and target/serve-profile.json"
 
 echo "ci: all checks passed"
