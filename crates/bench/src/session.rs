@@ -370,6 +370,64 @@ impl From<(Dataset, AlgoKey)> for ExperimentSpec {
 /// One fully keyed experiment and its result.
 type KeyedReport = (ExperimentSpec, RunReport);
 
+/// One `(dataset, algorithm)` trace group: the unit of functional-trace
+/// sharing. Every machine in the group replays the *same* functional
+/// trace, so a batch of specs costs one trace per group, not one per
+/// spec. [`Session::prefetch`] and the `omega-serve` batch path both
+/// partition work with [`trace_groups`], so the two layers agree on what
+/// "compatible" means.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceGroup {
+    /// The shared input graph.
+    pub dataset: Dataset,
+    /// The shared workload (traced once).
+    pub algo: AlgoKey,
+    /// The machines that replay the shared trace, first-seen order,
+    /// deduplicated.
+    pub machines: Vec<MachineKind>,
+}
+
+impl TraceGroup {
+    /// The group's key.
+    pub fn key(&self) -> (Dataset, AlgoKey) {
+        (self.dataset, self.algo)
+    }
+
+    /// The group's member specs, in machine order.
+    pub fn specs(&self) -> impl Iterator<Item = ExperimentSpec> + '_ {
+        self.machines
+            .iter()
+            .map(move |&m| ExperimentSpec::new(self.dataset, self.algo, m))
+    }
+}
+
+/// Partitions `specs` into [`TraceGroup`]s by `(dataset, algo)`, in
+/// first-seen order, deduplicating machines within each group. All
+/// machine configurations share one core count, so one functional trace
+/// serves every replay in a group (the same assumption
+/// [`Runner::run_many`] makes).
+pub fn trace_groups(specs: impl IntoIterator<Item = ExperimentSpec>) -> Vec<TraceGroup> {
+    let mut groups: Vec<TraceGroup> = Vec::new();
+    for spec in specs {
+        match groups
+            .iter_mut()
+            .find(|g| g.key() == (spec.dataset, spec.algo))
+        {
+            Some(g) => {
+                if !g.machines.contains(&spec.machine) {
+                    g.machines.push(spec.machine);
+                }
+            }
+            None => groups.push(TraceGroup {
+                dataset: spec.dataset,
+                algo: spec.algo,
+                machines: vec![spec.machine],
+            }),
+        }
+    }
+    groups
+}
+
 /// Where a report came from — the per-request cache outcome that a serving
 /// layer needs to keep exact hit/miss counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -626,14 +684,7 @@ impl Session {
         }
         // One group per (dataset, algorithm), in first-seen order: the
         // functional trace is shared by all of the group's machines.
-        let mut groups: Vec<((Dataset, AlgoKey), Vec<MachineKind>)> = Vec::new();
-        for spec in &pending {
-            let key = (spec.dataset, spec.algo);
-            match groups.iter_mut().find(|(gk, _)| *gk == key) {
-                Some((_, machines)) => machines.push(spec.machine),
-                None => groups.push((key, vec![spec.machine])),
-            }
-        }
+        let groups = trace_groups(pending.iter().copied());
         let graphs = &self.graphs;
         let verbose = self.verbose;
         let telemetry = self.telemetry;
@@ -648,9 +699,10 @@ impl Session {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next_group.fetch_add(1, Ordering::Relaxed);
-                    let Some(((d, a), machines)) = groups.get(i) else {
+                    let Some(group) = groups.get(i) else {
                         break;
                     };
+                    let (d, a, machines) = (&group.dataset, &group.algo, &group.machines);
                     let _group =
                         obs::span_owned(format!("session.group:{}/{}", d.code(), a.name()));
                     let g = &graphs[d];

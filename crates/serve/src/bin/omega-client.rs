@@ -1,9 +1,9 @@
 //! `omega-client` — command-line client for a running `omega-serve`.
 //!
 //! ```text
-//! omega-client run      --addr HOST:PORT [--scale S] <dataset> <algo> [machine]
-//! omega-client batch    --addr HOST:PORT [--scale S] SPEC...   # SPEC = dataset:algo[:machine]
-//! omega-client stats    --addr HOST:PORT
+//! omega-client run      --addr HOST:PORT [--scale S] [--retry N] <dataset> <algo> [machine]
+//! omega-client batch    --addr HOST:PORT [--scale S] [--pipeline|--grouped] SPEC...
+//! omega-client stats    --addr HOST:PORT                        # SPEC = dataset:algo[:machine]
 //! omega-client ping     --addr HOST:PORT
 //! omega-client shutdown --addr HOST:PORT
 //! ```
@@ -11,16 +11,27 @@
 //! `run` and `stats` print the payload JSON on stdout. `batch` issues
 //! every spec over one connection and prints a one-line outcome per
 //! spec plus a summary; it exits non-zero if any request was shed or
-//! failed.
+//! failed. Batch has three wire shapes:
+//!
+//! * default — sequential calls, one at a time (the v1 discipline);
+//! * `--pipeline` — every request is written before any response is
+//!   read; the server computes them concurrently and responses are
+//!   matched back by frame id;
+//! * `--grouped` — one server-side `batch` request, so specs sharing
+//!   `(dataset, algo)` ride one queue slot and one functional trace.
+//!
+//! `--retry N` retries `busy` responses up to N times with capped
+//! jittered backoff (deterministic per `--seed`); `--v1` forces the
+//! original protocol.
 
 use omega_bench::session::{AlgoKey, ExperimentSpec, MachineKind};
 use omega_graph::datasets::{Dataset, DatasetScale};
 use omega_serve::proto::RunRequest;
-use omega_serve::{Client, Response};
+use omega_serve::{Client, Response, RetryPolicy};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: omega-client <run|batch|stats|ping|shutdown> --addr HOST:PORT \
-[--scale S] [args...]";
+[--scale S] [--retry N] [--seed S] [--v1] [--pipeline|--grouped] [args...]";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("omega-client: {msg}");
@@ -28,9 +39,20 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
+#[derive(PartialEq)]
+enum BatchMode {
+    Sequential,
+    Pipelined,
+    Grouped,
+}
+
 struct Cli {
     addr: Option<String>,
     scale: DatasetScale,
+    retries: u32,
+    seed: u64,
+    v1: bool,
+    mode: BatchMode,
     rest: Vec<String>,
 }
 
@@ -38,6 +60,10 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut cli = Cli {
         addr: None,
         scale: DatasetScale::Small,
+        retries: 0,
+        seed: 0xC0FFEE,
+        v1: false,
+        mode: BatchMode::Sequential,
         rest: Vec::new(),
     };
     let mut it = args;
@@ -48,8 +74,22 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                 let v = it.next().ok_or("--scale needs a value")?;
                 cli.scale = v.parse().map_err(|e| format!("{e}"))?;
             }
+            "--retry" => {
+                let v = it.next().ok_or("--retry needs a value")?;
+                cli.retries = v.parse().map_err(|e| format!("--retry: {e}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                cli.seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--v1" => cli.v1 = true,
+            "--pipeline" => cli.mode = BatchMode::Pipelined,
+            "--grouped" => cli.mode = BatchMode::Grouped,
             _ => cli.rest.push(arg),
         }
+    }
+    if cli.v1 && cli.mode != BatchMode::Sequential {
+        return Err("--v1 cannot pipeline (ids need omega-serve/v2)".into());
     }
     Ok(cli)
 }
@@ -73,7 +113,17 @@ fn parse_spec(text: &str) -> Result<ExperimentSpec, String> {
 
 fn connect(cli: &Cli) -> Result<Client, String> {
     let addr = cli.addr.as_deref().ok_or("missing --addr HOST:PORT")?;
-    Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+    let client = if cli.v1 {
+        Client::connect_v1(addr)
+    } else {
+        Client::connect(addr)
+    };
+    let client = client.map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    Ok(if cli.retries > 0 {
+        client.with_retry(RetryPolicy::new(cli.retries, cli.seed))
+    } else {
+        client
+    })
 }
 
 fn main() -> ExitCode {
@@ -131,15 +181,25 @@ fn cmd_batch(cli: &Cli) -> Result<ExitCode, String> {
         .iter()
         .map(|s| parse_spec(s))
         .collect::<Result<_, _>>()?;
+    let runs: Vec<RunRequest> = specs
+        .iter()
+        .map(|&spec| RunRequest {
+            spec,
+            scale: cli.scale,
+        })
+        .collect();
     let mut client = connect(cli)?;
+    let responses: Vec<Response> = match cli.mode {
+        BatchMode::Sequential => runs
+            .iter()
+            .map(|&run| client.run(run))
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.to_string())?,
+        BatchMode::Pipelined => client.run_pipelined(&runs).map_err(|e| e.to_string())?,
+        BatchMode::Grouped => client.batch(&runs).map_err(|e| e.to_string())?,
+    };
     let (mut ok, mut busy, mut failed) = (0u32, 0u32, 0u32);
-    for spec in specs {
-        let resp = client
-            .run(RunRequest {
-                spec,
-                scale: cli.scale,
-            })
-            .map_err(|e| e.to_string())?;
+    for (spec, resp) in specs.iter().zip(responses) {
         match resp {
             Response::Ok(payload) => {
                 ok += 1;

@@ -35,10 +35,12 @@
 
 pub mod client;
 pub mod flight;
+pub mod memo;
 pub mod proto;
 pub mod server;
 pub mod wire;
 
-pub use client::Client;
-pub use proto::{Request, Response, RunRequest, PROTO};
+pub use client::{Client, RetryPolicy};
+pub use memo::{Memo, MemoCounters};
+pub use proto::{Request, Response, RunRequest, PROTO, PROTO_V2};
 pub use server::{serve, ServeConfig, ServerHandle};

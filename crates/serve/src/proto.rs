@@ -1,4 +1,4 @@
-//! The `omega-serve/v1` request/response vocabulary.
+//! The `omega-serve/v1` + `omega-serve/v2` request/response vocabulary.
 //!
 //! Requests are flat JSON objects carrying a `proto` tag, a `method`,
 //! and (for `run`) the experiment coordinates as the same names the
@@ -7,12 +7,29 @@
 //! [`DatasetScale`]), so an unknown name becomes a structured
 //! `unknown-name` error on the wire instead of a stringly refusal.
 //!
+//! ## Two protocol revisions, one connection
+//!
+//! * **v1** ([`PROTO`]) is strictly sequential: no `id` field is
+//!   allowed, and the server answers each request before reading the
+//!   next, in order. Every PR 8 client keeps working unchanged.
+//! * **v2** ([`PROTO_V2`]) adds **pipelining**: every request frame
+//!   carries a client-chosen numeric `id`, the response echoes it, and
+//!   responses may arrive in any order — a single connection can have
+//!   many requests in flight. v2 also adds the `batch` method: one
+//!   frame carrying many run specs, grouped server-side by
+//!   `(dataset, algo)` so compatible specs share one functional trace.
+//!
+//! The version is per-*frame*, not per-connection: [`RequestFrame`]
+//! carries what the client spoke and the server mirrors it back, so
+//! mixed traffic (a v1 probe against a v2 session) just works.
+//!
 //! Responses share one envelope: `status` is `"ok"` (with a `payload`
 //! document), `"busy"` (with the queue depth/limit that caused the
 //! shed), or `"error"` (with the [`OmegaError::code`] and message).
-//! The envelope carries **no** variable fields — no timestamps, no
-//! request ids — so a warm (cache-served) response is byte-identical
-//! to the cold one that populated it.
+//! The *payload* carries no variable fields — no timestamps — so a
+//! warm (cache-served) response payload is byte-identical to the cold
+//! one that populated it; the only per-request envelope field is the
+//! client's own echoed `id`.
 //!
 //! [`FromStr`]: std::str::FromStr
 
@@ -21,11 +38,36 @@ use omega_bench::Json;
 use omega_core::OmegaError;
 use omega_graph::datasets::{Dataset, DatasetScale};
 
-/// The protocol tag every frame must carry.
+/// The sequential v1 protocol tag.
 pub const PROTO: &str = "omega-serve/v1";
 
+/// The pipelined v2 protocol tag (per-frame request ids, `batch`).
+pub const PROTO_V2: &str = "omega-serve/v2";
+
 /// Schema tag of the `stats` payload document.
-pub const STATS_SCHEMA: &str = "omega-serve-stats/v1";
+pub const STATS_SCHEMA: &str = "omega-serve-stats/v2";
+
+/// Schema tag of the `batch` response payload document.
+pub const BATCH_SCHEMA: &str = "omega-serve-batch/v1";
+
+/// Which protocol revision one frame speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoVersion {
+    /// `omega-serve/v1`: no ids, strictly in-order responses.
+    V1,
+    /// `omega-serve/v2`: per-frame ids, out-of-order responses allowed.
+    V2,
+}
+
+impl ProtoVersion {
+    /// The wire tag for this revision.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ProtoVersion::V1 => PROTO,
+            ProtoVersion::V2 => PROTO_V2,
+        }
+    }
+}
 
 /// One `run` request: which experiment, at which scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,10 +79,15 @@ pub struct RunRequest {
 }
 
 /// A parsed client request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Run (or fetch) one experiment and return its run report.
     Run(RunRequest),
+    /// Run (or fetch) many experiments in one frame. The server groups
+    /// the uncached specs by `(dataset, algo)` so each group shares one
+    /// functional trace, and answers with a [`BATCH_SCHEMA`] payload
+    /// carrying one per-spec result envelope each, in request order.
+    Batch(Vec<RunRequest>),
     /// Return the live service counters.
     Stats,
     /// Liveness probe.
@@ -53,8 +100,8 @@ pub enum Request {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Success; the payload is method-specific (`omega-run-report/v1`
-    /// for `run`, [`STATS_SCHEMA`] for `stats`, small ack objects for
-    /// `ping` / `shutdown`).
+    /// for `run`, [`BATCH_SCHEMA`] for `batch`, [`STATS_SCHEMA`] for
+    /// `stats`, small ack objects for `ping` / `shutdown`).
     Ok(Json),
     /// The admission queue was full; the request was shed unserved.
     Busy {
@@ -92,9 +139,36 @@ impl Response {
     }
 }
 
-fn envelope() -> Json {
+/// One request frame: the revision it spoke, its id (v2 only), and the
+/// parsed request body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// The protocol revision of the frame.
+    pub version: ProtoVersion,
+    /// The client-chosen request id; present exactly on v2 frames.
+    pub id: Option<u64>,
+    /// The request body.
+    pub request: Request,
+}
+
+/// One response frame: the revision mirrored back, the echoed id (v2
+/// only), and the response body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseFrame {
+    /// The protocol revision of the frame (mirrors the request's).
+    pub version: ProtoVersion,
+    /// The echoed request id; present exactly on v2 frames.
+    pub id: Option<u64>,
+    /// The response body.
+    pub response: Response,
+}
+
+fn envelope(version: ProtoVersion, id: Option<u64>) -> Json {
     let mut o = Json::obj();
-    o.set("proto", Json::Str(PROTO.to_string()));
+    o.set("proto", Json::Str(version.tag().to_string()));
+    if let Some(id) = id {
+        o.set("id", Json::Num(id as f64));
+    }
     o
 }
 
@@ -104,26 +178,84 @@ fn str_field<'a>(doc: &'a Json, key: &'static str) -> Result<&'a str, OmegaError
         .ok_or_else(|| OmegaError::Protocol(format!("missing or non-string `{key}` field")))
 }
 
-fn check_proto(doc: &Json) -> Result<(), OmegaError> {
+/// Parses and validates the `proto` + `id` pair: v1 frames must not
+/// carry an id, v2 frames must.
+fn check_envelope(doc: &Json) -> Result<(ProtoVersion, Option<u64>), OmegaError> {
     let tag = str_field(doc, "proto")?;
-    if tag != PROTO {
+    let version = if tag == PROTO {
+        ProtoVersion::V1
+    } else if tag == PROTO_V2 {
+        ProtoVersion::V2
+    } else {
         return Err(OmegaError::Protocol(format!(
-            "protocol `{tag}` is not `{PROTO}`"
+            "protocol `{tag}` is neither `{PROTO}` nor `{PROTO_V2}`"
         )));
+    };
+    let id = match doc.get("id") {
+        None => None,
+        Some(v) => Some(v.as_u64().ok_or_else(|| {
+            OmegaError::Protocol("`id` must be a non-negative integer".to_string())
+        })?),
+    };
+    match (version, id) {
+        (ProtoVersion::V1, Some(_)) => Err(OmegaError::Protocol(format!(
+            "`{PROTO}` frames must not carry an `id` (pipelining is `{PROTO_V2}`)"
+        ))),
+        (ProtoVersion::V2, None) => Err(OmegaError::Protocol(format!(
+            "`{PROTO_V2}` frames must carry a numeric `id`"
+        ))),
+        pair => Ok(pair),
     }
-    Ok(())
 }
 
-/// Serialises a request for the wire.
-pub fn request_to_json(req: &Request) -> Json {
-    let mut o = envelope();
+/// Writes `r`'s experiment coordinates into `o` (the flat `run` form).
+fn set_run_fields(o: &mut Json, r: &RunRequest) {
+    o.set("dataset", Json::Str(r.spec.dataset.code().to_string()));
+    o.set("algo", Json::Str(r.spec.algo.code().to_string()));
+    o.set("machine", Json::Str(r.spec.machine.label()));
+    o.set("scale", Json::Str(r.scale.code().to_string()));
+}
+
+/// Parses the experiment coordinates of one run object (the top-level
+/// `run` frame or one element of a `batch` frame's `runs` array).
+/// `machine` defaults to omega, `scale` to small — the same defaults
+/// the CLI tools use.
+pub fn run_request_from_json(doc: &Json) -> Result<RunRequest, OmegaError> {
+    let dataset: Dataset = str_field(doc, "dataset")?
+        .parse()
+        .map_err(OmegaError::from)?;
+    let algo: AlgoKey = str_field(doc, "algo")?.parse()?;
+    let machine: MachineKind = match doc.get("machine").and_then(Json::as_str) {
+        Some(m) => m.parse()?,
+        None => MachineKind::Omega,
+    };
+    let scale: DatasetScale = match doc.get("scale").and_then(Json::as_str) {
+        Some(s) => s.parse().map_err(OmegaError::from)?,
+        None => DatasetScale::Small,
+    };
+    Ok(RunRequest {
+        spec: ExperimentSpec::new(dataset, algo, machine),
+        scale,
+    })
+}
+
+fn set_request_fields(o: &mut Json, req: &Request) {
     match req {
         Request::Run(r) => {
             o.set("method", Json::Str("run".to_string()));
-            o.set("dataset", Json::Str(r.spec.dataset.code().to_string()));
-            o.set("algo", Json::Str(r.spec.algo.code().to_string()));
-            o.set("machine", Json::Str(r.spec.machine.label()));
-            o.set("scale", Json::Str(r.scale.code().to_string()));
+            set_run_fields(o, r);
+        }
+        Request::Batch(runs) => {
+            o.set("method", Json::Str("batch".to_string()));
+            let items = runs
+                .iter()
+                .map(|r| {
+                    let mut item = Json::obj();
+                    set_run_fields(&mut item, r);
+                    item
+                })
+                .collect();
+            o.set("runs", Json::Arr(items));
         }
         Request::Stats => {
             o.set("method", Json::Str("stats".to_string()));
@@ -135,32 +267,26 @@ pub fn request_to_json(req: &Request) -> Json {
             o.set("method", Json::Str("shutdown".to_string()));
         }
     }
-    o
 }
 
-/// Parses a request document. Unknown methods and unknown experiment
-/// coordinates surface as structured [`OmegaError::UnknownName`]
-/// boundary errors; malformed envelopes as `protocol` errors.
-pub fn request_from_json(doc: &Json) -> Result<Request, OmegaError> {
-    check_proto(doc)?;
+fn request_fields_from_json(doc: &Json) -> Result<Request, OmegaError> {
     match str_field(doc, "method")? {
-        "run" => {
-            let dataset: Dataset = str_field(doc, "dataset")?
-                .parse()
-                .map_err(OmegaError::from)?;
-            let algo: AlgoKey = str_field(doc, "algo")?.parse()?;
-            let machine: MachineKind = match doc.get("machine").and_then(Json::as_str) {
-                Some(m) => m.parse()?,
-                None => MachineKind::Omega,
-            };
-            let scale: DatasetScale = match doc.get("scale").and_then(Json::as_str) {
-                Some(s) => s.parse().map_err(OmegaError::from)?,
-                None => DatasetScale::Small,
-            };
-            Ok(Request::Run(RunRequest {
-                spec: ExperimentSpec::new(dataset, algo, machine),
-                scale,
-            }))
+        "run" => Ok(Request::Run(run_request_from_json(doc)?)),
+        "batch" => {
+            let items = doc
+                .get("runs")
+                .and_then(Json::as_array)
+                .ok_or_else(|| OmegaError::Protocol("batch without a `runs` array".into()))?;
+            if items.is_empty() {
+                return Err(OmegaError::Protocol(
+                    "batch with an empty `runs` array".into(),
+                ));
+            }
+            let runs = items
+                .iter()
+                .map(run_request_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Batch(runs))
         }
         "stats" => Ok(Request::Stats),
         "ping" => Ok(Request::Ping),
@@ -168,14 +294,35 @@ pub fn request_from_json(doc: &Json) -> Result<Request, OmegaError> {
         other => Err(OmegaError::unknown_name(
             "method",
             other,
-            "run, stats, ping, shutdown",
+            "run, batch, stats, ping, shutdown",
         )),
     }
 }
 
-/// Serialises a response for the wire.
-pub fn response_to_json(resp: &Response) -> Json {
-    let mut o = envelope();
+/// Serialises a request frame for the wire.
+pub fn request_frame_to_json(frame: &RequestFrame) -> Json {
+    let mut o = envelope(frame.version, frame.id);
+    set_request_fields(&mut o, &frame.request);
+    o
+}
+
+/// Parses a request frame of either protocol revision. Unknown methods
+/// and unknown experiment coordinates surface as structured
+/// [`OmegaError::UnknownName`] boundary errors; malformed envelopes
+/// (bad tag, v1-with-id, v2-without-id) as `protocol` errors.
+pub fn request_frame_from_json(doc: &Json) -> Result<RequestFrame, OmegaError> {
+    let (version, id) = check_envelope(doc)?;
+    Ok(RequestFrame {
+        version,
+        id,
+        request: request_fields_from_json(doc)?,
+    })
+}
+
+/// Writes `resp`'s body fields (`status` + status-specific fields) into
+/// `o`. Shared by the top-level response envelope and the per-spec
+/// result objects inside a [`BATCH_SCHEMA`] payload.
+pub fn set_response_fields(o: &mut Json, resp: &Response) {
     match resp {
         Response::Ok(payload) => {
             o.set("status", Json::Str("ok".to_string()));
@@ -195,12 +342,11 @@ pub fn response_to_json(resp: &Response) -> Json {
             o.set("message", Json::Str(message.clone()));
         }
     }
-    o
 }
 
-/// Parses a response document (the client side of the wire).
-pub fn response_from_json(doc: &Json) -> Result<Response, OmegaError> {
-    check_proto(doc)?;
+/// Parses one response body (`status` + status-specific fields) — the
+/// inverse of [`set_response_fields`].
+pub fn response_fields_from_json(doc: &Json) -> Result<Response, OmegaError> {
     match str_field(doc, "status")? {
         "ok" => {
             let payload = doc
@@ -231,6 +377,102 @@ pub fn response_from_json(doc: &Json) -> Result<Response, OmegaError> {
     }
 }
 
+/// Serialises a response frame for the wire.
+pub fn response_frame_to_json(frame: &ResponseFrame) -> Json {
+    let mut o = envelope(frame.version, frame.id);
+    set_response_fields(&mut o, &frame.response);
+    o
+}
+
+/// Parses a response frame of either protocol revision (the client side
+/// of the wire).
+pub fn response_frame_from_json(doc: &Json) -> Result<ResponseFrame, OmegaError> {
+    let (version, id) = check_envelope(doc)?;
+    Ok(ResponseFrame {
+        version,
+        id,
+        response: response_fields_from_json(doc)?,
+    })
+}
+
+/// Builds the [`BATCH_SCHEMA`] payload from per-spec responses, in
+/// request order.
+pub fn batch_payload(results: &[Response]) -> Json {
+    let mut o = Json::obj();
+    o.set("schema", Json::Str(BATCH_SCHEMA.to_string()));
+    let items = results
+        .iter()
+        .map(|r| {
+            let mut item = Json::obj();
+            set_response_fields(&mut item, r);
+            item
+        })
+        .collect();
+    o.set("results", Json::Arr(items));
+    o
+}
+
+/// Parses a [`BATCH_SCHEMA`] payload back into per-spec responses.
+pub fn batch_results(payload: &Json) -> Result<Vec<Response>, OmegaError> {
+    if payload.get("schema").and_then(Json::as_str) != Some(BATCH_SCHEMA) {
+        return Err(OmegaError::Protocol(format!(
+            "batch payload is not `{BATCH_SCHEMA}`"
+        )));
+    }
+    payload
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or_else(|| OmegaError::Protocol("batch payload without `results`".into()))?
+        .iter()
+        .map(response_fields_from_json)
+        .collect()
+}
+
+/// Serialises a v1 request (compat wrapper for PR 8 callers).
+pub fn request_to_json(req: &Request) -> Json {
+    request_frame_to_json(&RequestFrame {
+        version: ProtoVersion::V1,
+        id: None,
+        request: req.clone(),
+    })
+}
+
+/// Parses a request document, requiring the v1 revision — the exact
+/// behaviour of the PR 8 server, kept for compatibility tests that
+/// emulate a v1-only peer.
+pub fn request_from_json(doc: &Json) -> Result<Request, OmegaError> {
+    let frame = request_frame_from_json(doc)?;
+    if frame.version != ProtoVersion::V1 {
+        return Err(OmegaError::Protocol(format!(
+            "protocol `{}` is not `{PROTO}`",
+            frame.version.tag()
+        )));
+    }
+    Ok(frame.request)
+}
+
+/// Serialises a v1 response (compat wrapper for PR 8 callers).
+pub fn response_to_json(resp: &Response) -> Json {
+    response_frame_to_json(&ResponseFrame {
+        version: ProtoVersion::V1,
+        id: None,
+        response: resp.clone(),
+    })
+}
+
+/// Parses a response document, requiring the v1 revision (the inverse
+/// of [`response_to_json`]).
+pub fn response_from_json(doc: &Json) -> Result<Response, OmegaError> {
+    let frame = response_frame_from_json(doc)?;
+    if frame.version != ProtoVersion::V1 {
+        return Err(OmegaError::Protocol(format!(
+            "protocol `{}` is not `{PROTO}`",
+            frame.version.tag()
+        )));
+    }
+    Ok(frame.response)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +497,104 @@ mod tests {
         };
         assert_eq!(r.spec.machine, MachineKind::Omega);
         assert_eq!(r.scale, DatasetScale::Small);
+    }
+
+    #[test]
+    fn v2_frames_roundtrip_and_echo_ids() {
+        let run = RunRequest {
+            spec: ExperimentSpec::new(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline),
+            scale: DatasetScale::Tiny,
+        };
+        let frame = RequestFrame {
+            version: ProtoVersion::V2,
+            id: Some(17),
+            request: Request::Batch(vec![run, run]),
+        };
+        let doc = request_frame_to_json(&frame);
+        assert_eq!(doc.get("proto").and_then(Json::as_str), Some(PROTO_V2));
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(17));
+        assert_eq!(request_frame_from_json(&doc).unwrap(), frame);
+
+        let resp = ResponseFrame {
+            version: ProtoVersion::V2,
+            id: Some(17),
+            response: Response::Busy {
+                queue_depth: 2,
+                queue_limit: 4,
+            },
+        };
+        let doc = response_frame_to_json(&resp);
+        assert_eq!(response_frame_from_json(&doc).unwrap(), resp);
+    }
+
+    #[test]
+    fn id_discipline_is_enforced_per_revision() {
+        // v2 without an id is malformed…
+        let mut doc = request_frame_to_json(&RequestFrame {
+            version: ProtoVersion::V2,
+            id: Some(3),
+            request: Request::Ping,
+        });
+        doc.set("id", Json::Null);
+        assert_eq!(
+            request_frame_from_json(&doc).unwrap_err().code(),
+            "protocol"
+        );
+
+        // …and so is a v1 frame that smuggles one in.
+        let mut doc = request_to_json(&Request::Ping);
+        doc.set("id", Json::Num(1.0));
+        assert_eq!(
+            request_frame_from_json(&doc).unwrap_err().code(),
+            "protocol"
+        );
+
+        // Fractional and negative ids are rejected, not truncated.
+        let mut doc = request_frame_to_json(&RequestFrame {
+            version: ProtoVersion::V2,
+            id: Some(3),
+            request: Request::Ping,
+        });
+        doc.set("id", Json::Num(1.5));
+        assert_eq!(
+            request_frame_from_json(&doc).unwrap_err().code(),
+            "protocol"
+        );
+    }
+
+    #[test]
+    fn batch_payloads_roundtrip_per_spec_envelopes() {
+        let mut ok_payload = Json::obj();
+        ok_payload.set("total_cycles", Json::Num(123.0));
+        let results = vec![
+            Response::Ok(ok_payload),
+            Response::Busy {
+                queue_depth: 1,
+                queue_limit: 1,
+            },
+            Response::Error {
+                code: "unknown-name".into(),
+                message: "no such dataset".into(),
+            },
+        ];
+        let payload = batch_payload(&results);
+        assert_eq!(
+            payload.get("schema").and_then(Json::as_str),
+            Some(BATCH_SCHEMA)
+        );
+        assert_eq!(batch_results(&payload).unwrap(), results);
+
+        // An empty batch request is malformed.
+        let mut doc = request_frame_to_json(&RequestFrame {
+            version: ProtoVersion::V2,
+            id: Some(1),
+            request: Request::Batch(vec![]),
+        });
+        doc.set("runs", Json::Arr(vec![]));
+        assert_eq!(
+            request_frame_from_json(&doc).unwrap_err().code(),
+            "protocol"
+        );
     }
 
     #[test]
@@ -284,6 +624,16 @@ mod tests {
     fn wrong_proto_tag_is_rejected() {
         let mut doc = request_to_json(&Request::Ping);
         doc.set("proto", Json::Str("omega-serve/v0".into()));
+        assert_eq!(request_from_json(&doc).unwrap_err().code(), "protocol");
+
+        // The v1-only parsers reject v2 frames — this is exactly what a
+        // PR 8 server would do to a pipelining client: a structured
+        // protocol error, not silent misbehaviour.
+        let doc = request_frame_to_json(&RequestFrame {
+            version: ProtoVersion::V2,
+            id: Some(1),
+            request: Request::Ping,
+        });
         assert_eq!(request_from_json(&doc).unwrap_err().code(), "protocol");
     }
 

@@ -1,29 +1,43 @@
-//! The service: accept loop, bounded admission, worker pool, caches.
+//! The service: accept loop, pipelined connections, grouped admission,
+//! worker pool, bounded caches.
 //!
 //! ```text
 //!   accept thread ──► connection threads (one per client)
-//!                          │  parse request, check memo/store  ──► hit
+//!                          │  v1 frame: handle inline, in order
+//!                          │  v2 frame: handler thread per request ──► out-of-order responses
+//!                          │  memo (bounded LRU+TTL) / store  ──► hit
 //!                          │  join single-flight table
 //!                          ▼
-//!                    bounded queue ──► shed `busy` when full
-//!                          │
+//!                    bounded queue of (dataset, algo, scale) GROUP jobs
+//!                          │  compatible jobs coalesce into one slot
+//!                          │  full queue sheds `busy`
+//!                          ▼
 //!                    worker pool (workers × staging ≤ jobs)
 //!                          │  graph/trace registries (build once)
-//!                          │  replay, persist, memoise
+//!                          │  one trace per group, one replay per spec
+//!                          │  persist, memoise, retire each flight
 //!                          ▼
 //!                    flight completion ──► every waiter responds
 //! ```
 //!
 //! The accept loop never does work and the queue never grows past its
 //! configured depth, so overload degrades to fast structured `busy`
-//! responses instead of memory growth or connect timeouts. Shutdown
-//! (`shutdown` request) closes the queue, stops accepting, and drains:
-//! every admitted request still receives its response.
+//! responses instead of memory growth or connect timeouts. Admission is
+//! at **group** granularity: a queued job is keyed by
+//! `(dataset, algo, scale)` and a compatible request joins it instead of
+//! consuming a slot — the functional trace is shared exactly like
+//! [`Session::prefetch`](omega_bench::session::Session::prefetch)
+//! (both layers partition with [`omega_bench::session::trace_groups`]).
+//! Shutdown (`shutdown` request) closes the queue, stops accepting, and
+//! drains: every admitted request still receives its response.
 
 use crate::flight::{FlightResult, Flights, Registry, Ticket};
-use crate::proto::{self, Request, Response, RunRequest, STATS_SCHEMA};
+use crate::memo::Memo;
+use crate::proto::{
+    self, ProtoVersion, Request, Response, ResponseFrame, RunRequest, PROTO_V2, STATS_SCHEMA,
+};
 use crate::wire::{self, Frame};
-use omega_bench::session::ExperimentSpec;
+use omega_bench::session::{trace_groups, ExperimentSpec, MachineKind};
 use omega_bench::{run_report_to_json, ExperimentStore, Json};
 use omega_core::config::SystemConfig;
 use omega_core::runner::{replay_report_parallel, trace_algorithm};
@@ -34,7 +48,7 @@ use omega_ligra::trace::{RawTrace, TraceMeta};
 use omega_ligra::ExecConfig;
 use omega_sim::obs;
 use omega_sim::telemetry::TelemetryConfig;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -55,11 +69,18 @@ pub struct ServeConfig {
     pub jobs: usize,
     /// Worker-pool size; 0 sizes it automatically (`min(jobs, 4)`).
     pub workers: usize,
-    /// Admission-queue capacity. A full queue sheds with `busy`.
+    /// Admission-queue capacity, in **group jobs**. A full queue sheds
+    /// with `busy`; a request compatible with an already-queued group
+    /// joins it without consuming a slot.
     pub queue_depth: usize,
+    /// Response-memo capacity in entries (bounded LRU; evicted entries
+    /// recompute byte-identically from the store).
+    pub memo_entries: usize,
+    /// Response-memo TTL in milliseconds; 0 disables the age bound.
+    pub memo_ttl_ms: u64,
     /// Persistent experiment store shared with the batch tools.
     pub store: Option<PathBuf>,
-    /// Test hook: artificial delay inside each computed job, to make
+    /// Test hook: artificial delay inside each computed replay, to make
     /// in-flight windows wide enough for deterministic concurrency
     /// tests on any machine.
     pub job_delay_ms: u64,
@@ -72,6 +93,8 @@ impl Default for ServeConfig {
             jobs: 1,
             workers: 0,
             queue_depth: 8,
+            memo_entries: 256,
+            memo_ttl_ms: 0,
             store: None,
             job_delay_ms: 0,
         }
@@ -98,22 +121,50 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// One admitted unit of work.
-struct Job {
+/// One spec awaiting computation inside a group job.
+struct JobEntry {
     fp: u64,
-    spec: ExperimentSpec,
+    machine: MachineKind,
+}
+
+/// One admitted unit of work: every queued spec sharing this
+/// `(dataset, algo, scale)` key — they share one graph and one
+/// functional trace, so the queue holds them as a single slot.
+struct Job {
+    dataset: Dataset,
+    algo: omega_bench::session::AlgoKey,
     scale: DatasetScale,
+    entries: Vec<JobEntry>,
+}
+
+impl Job {
+    fn key(&self) -> (Dataset, omega_bench::session::AlgoKey, DatasetScale) {
+        (self.dataset, self.algo, self.scale)
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{}-{}@{}(×{})",
+            self.algo.name(),
+            self.dataset.code(),
+            self.scale.code(),
+            self.entries.len()
+        )
+    }
 }
 
 enum Admission {
+    /// A new group slot was taken.
     Queued,
+    /// Coalesced into an already-queued compatible group (no new slot).
+    Grouped,
     /// Occupancy at rejection time.
     Full(usize),
     Closed,
 }
 
-/// Fixed-capacity FIFO feeding the worker pool. `close` stops intake
-/// but lets workers drain what was already admitted.
+/// Fixed-capacity FIFO of group jobs feeding the worker pool. `close`
+/// stops intake but lets workers drain what was already admitted.
 struct Queue {
     inner: Mutex<(VecDeque<Job>, bool)>,
     cv: Condvar,
@@ -129,15 +180,38 @@ impl Queue {
         }
     }
 
-    fn try_push(&self, job: Job) -> Admission {
+    /// Admits `entries` under the group key. A queued job with the same
+    /// key absorbs them without consuming a slot (even when the queue
+    /// is at capacity — coalescing never increases the job count);
+    /// otherwise a free slot starts a new group job.
+    fn try_admit(
+        &self,
+        dataset: Dataset,
+        algo: omega_bench::session::AlgoKey,
+        scale: DatasetScale,
+        entries: Vec<JobEntry>,
+    ) -> Admission {
         let mut inner = lock(&self.inner);
         if inner.1 {
             return Admission::Closed;
         }
+        if let Some(job) = inner
+            .0
+            .iter_mut()
+            .find(|j| j.key() == (dataset, algo, scale))
+        {
+            job.entries.extend(entries);
+            return Admission::Grouped;
+        }
         if inner.0.len() >= self.cap {
             return Admission::Full(inner.0.len());
         }
-        inner.0.push_back(job);
+        inner.0.push_back(Job {
+            dataset,
+            algo,
+            scale,
+            entries,
+        });
         self.cv.notify_one();
         Admission::Queued
     }
@@ -171,9 +245,11 @@ impl Queue {
 #[derive(Default)]
 struct Counters {
     requests: AtomicU64,
+    batches: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
+    grouped: AtomicU64,
     shed: AtomicU64,
     errors: AtomicU64,
     inflight: AtomicU64,
@@ -199,10 +275,11 @@ struct ServerState {
     store: Option<ExperimentStore>,
     graphs: Registry<(Dataset, DatasetScale), Result<CsrGraph, String>>,
     traces: Registry<(Dataset, &'static str, DatasetScale), Result<TraceBundle, String>>,
-    /// Response payloads by fingerprint — the in-process memo. Holding
-    /// the serialised payload (not the report) makes warm responses
-    /// trivially byte-identical to the cold ones that filled it.
-    memo: Mutex<HashMap<u64, Arc<Json>>>,
+    /// Response payloads by fingerprint — the bounded in-process memo.
+    /// Holding the serialised payload (not the report) makes warm
+    /// responses trivially byte-identical to the cold ones that filled
+    /// it; evicted entries recompute byte-identically via the store.
+    memo: Memo,
     flights: Flights,
     queue: Queue,
     counters: Counters,
@@ -274,12 +351,13 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, OmegaError> {
         None => None,
     };
     let queue = Queue::new(config.queue_depth);
+    let memo = Memo::new(config.memo_entries, config.memo_ttl_ms);
     let state = Arc::new(ServerState {
         addr,
         store,
         graphs: Registry::new(),
         traces: Registry::new(),
-        memo: Mutex::new(HashMap::new()),
+        memo,
         flights: Flights::new(),
         queue,
         counters: Counters::default(),
@@ -336,42 +414,98 @@ fn accept_loop(
     }
 }
 
+/// Best-effort envelope echo for frames whose body failed to parse: if
+/// the peer spoke recognisable v2 (tag + integer id), mirror both so it
+/// can correlate the error; otherwise fall back to a bare v1 envelope.
+fn error_envelope_for(doc: &Json) -> (ProtoVersion, Option<u64>) {
+    if doc.get("proto").and_then(Json::as_str) == Some(PROTO_V2) {
+        if let Some(id) = doc.get("id").and_then(Json::as_u64) {
+            return (ProtoVersion::V2, Some(id));
+        }
+    }
+    (ProtoVersion::V1, None)
+}
+
+fn write_response(
+    writer: &Mutex<TcpStream>,
+    version: ProtoVersion,
+    id: Option<u64>,
+    response: Response,
+) -> bool {
+    let frame = ResponseFrame {
+        version,
+        id,
+        response,
+    };
+    let doc = proto::response_frame_to_json(&frame);
+    wire::write_frame(&mut *lock(writer), &doc).is_ok()
+}
+
+/// One connection. v1 frames are handled inline — strictly in order,
+/// the PR 8 contract. v2 frames spawn a handler thread each and may
+/// complete out of order; the shared writer lock keeps frames whole.
+/// The scope joins every in-flight handler before the connection
+/// thread exits, so `ServerHandle::wait` still observes a full drain.
 fn connection_loop(state: &Arc<ServerState>, mut stream: TcpStream) {
     // The timeout bounds how long an idle connection takes to notice
     // shutdown; it does not bound request handling.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let _ = stream.set_nodelay(true);
-    loop {
-        let frame = wire::read_frame(&mut stream, || state.draining());
-        let doc = match frame {
-            Ok(Frame::Doc(doc)) => doc,
-            Ok(Frame::Eof) | Ok(Frame::Cancelled) => break,
-            Err(e) => {
-                // Tell the peer what was wrong with its bytes, then
-                // hang up: framing is unrecoverable after an error.
-                let resp = Response::from_error(&e);
-                let _ = wire::write_frame(&mut stream, &proto::response_to_json(&resp));
-                break;
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Mutex::new(write_half);
+    std::thread::scope(|scope| {
+        loop {
+            let frame = wire::read_frame(&mut stream, || state.draining());
+            let doc = match frame {
+                Ok(Frame::Doc(doc)) => doc,
+                Ok(Frame::Eof) | Ok(Frame::Cancelled) => break,
+                Err(e) => {
+                    // Tell the peer what was wrong with its bytes, then
+                    // hang up: framing is unrecoverable after an error.
+                    let _ =
+                        write_response(&writer, ProtoVersion::V1, None, Response::from_error(&e));
+                    break;
+                }
+            };
+            let request = match proto::request_frame_from_json(&doc) {
+                Ok(frame) => frame,
+                Err(e) => {
+                    // The frame was well-formed JSON but not a valid
+                    // request — answer the error and keep reading.
+                    state.counters.bump("serve.errors", &state.counters.errors);
+                    let (version, id) = error_envelope_for(&doc);
+                    if !write_response(&writer, version, id, Response::from_error(&e)) {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            match request.version {
+                ProtoVersion::V1 => {
+                    let _span = obs::span("serve.request");
+                    let resp = handle_request(state, &request.request);
+                    if !write_response(&writer, ProtoVersion::V1, None, resp) {
+                        break;
+                    }
+                }
+                ProtoVersion::V2 => {
+                    let writer = &writer;
+                    scope.spawn(move || {
+                        let _span = obs::span("serve.request");
+                        let resp = handle_request(state, &request.request);
+                        write_response(writer, ProtoVersion::V2, request.id, resp);
+                    });
+                }
             }
-        };
-        let _span = obs::span("serve.request");
-        let resp = handle_request(state, &doc);
-        if wire::write_frame(&mut stream, &proto::response_to_json(&resp)).is_err() {
-            break;
         }
-    }
+    });
 }
 
-fn handle_request(state: &Arc<ServerState>, doc: &Json) -> Response {
+fn handle_request(state: &Arc<ServerState>, request: &Request) -> Response {
     let c = &state.counters;
     c.bump("serve.requests", &c.requests);
-    let request = match proto::request_from_json(doc) {
-        Ok(r) => r,
-        Err(e) => {
-            c.bump("serve.errors", &c.errors);
-            return Response::from_error(&e);
-        }
-    };
     match request {
         Request::Ping => {
             let mut payload = Json::obj();
@@ -385,7 +519,7 @@ fn handle_request(state: &Arc<ServerState>, doc: &Json) -> Response {
             payload.set("draining", Json::Bool(true));
             Response::Ok(payload)
         }
-        Request::Run(run) => match run_request(state, run) {
+        Request::Run(run) => match run_request(state, *run) {
             Ok(payload) => Response::Ok((*payload).clone()),
             Err(e) => {
                 match *e {
@@ -395,6 +529,10 @@ fn handle_request(state: &Arc<ServerState>, doc: &Json) -> Response {
                 Response::from_error(&e)
             }
         },
+        Request::Batch(runs) => {
+            c.bump("serve.batches", &c.batches);
+            Response::Ok(batch_request(state, runs))
+        }
     }
 }
 
@@ -403,20 +541,9 @@ fn run_request(state: &Arc<ServerState>, run: RunRequest) -> FlightResult {
     let c = &state.counters;
     let fp = run.spec.fingerprint(run.scale, ServerState::telemetry());
 
-    if let Some(payload) = lock(&state.memo).get(&fp) {
+    if let Some(cached) = lookup(state, fp, run) {
         c.bump("serve.hits", &c.hits);
-        return Ok(Arc::clone(payload));
-    }
-    if let Some(store) = &state.store {
-        if let Some(report) = store.load_report(fp) {
-            let payload = Arc::new(run_report_to_json(
-                &report,
-                &ServerState::system_for(run.spec),
-            ));
-            lock(&state.memo).insert(fp, Arc::clone(&payload));
-            c.bump("serve.hits", &c.hits);
-            return Ok(payload);
-        }
+        return Ok(cached);
     }
 
     match state.flights.join(fp) {
@@ -425,13 +552,21 @@ fn run_request(state: &Arc<ServerState>, run: RunRequest) -> FlightResult {
             flight.wait()
         }
         Ticket::Leader(flight) => {
-            let admission = state.queue.try_push(Job {
-                fp,
-                spec: run.spec,
-                scale: run.scale,
-            });
+            let admission = state.queue.try_admit(
+                run.spec.dataset,
+                run.spec.algo,
+                run.scale,
+                vec![JobEntry {
+                    fp,
+                    machine: run.spec.machine,
+                }],
+            );
             match admission {
                 Admission::Queued => flight.wait(),
+                Admission::Grouped => {
+                    c.bump("serve.grouped", &c.grouped);
+                    flight.wait()
+                }
                 Admission::Full(depth) => {
                     c.bump("serve.shed", &c.shed);
                     let err = Arc::new(OmegaError::Busy {
@@ -451,37 +586,242 @@ fn run_request(state: &Arc<ServerState>, run: RunRequest) -> FlightResult {
     }
 }
 
+/// Memo, then store. A store hit re-enters the memo (possibly evicting
+/// something older), which is how evicted entries come back
+/// byte-identically.
+fn lookup(state: &Arc<ServerState>, fp: u64, run: RunRequest) -> Option<Arc<Json>> {
+    if let Some(payload) = state.memo.get(fp) {
+        return Some(payload);
+    }
+    let store = state.store.as_ref()?;
+    let report = store.load_report(fp)?;
+    let payload = Arc::new(run_report_to_json(
+        &report,
+        &ServerState::system_for(run.spec),
+    ));
+    state.memo.insert(fp, Arc::clone(&payload));
+    Some(payload)
+}
+
+/// How one batch member will be resolved.
+enum BatchSlot {
+    /// Served from memo/store immediately.
+    Cached(Arc<Json>),
+    /// Waiting on a flight (as leader or follower); admission failures
+    /// (busy/shutdown) complete the flight, so they resolve here too.
+    Waiting(u64),
+}
+
+/// The `batch` path: resolve every member through the same
+/// memo → store → flight discipline, but admit all cold leaders as
+/// whole [`trace_groups`] so each group occupies one queue slot and
+/// shares one functional trace even on an idle server.
+fn batch_request(state: &Arc<ServerState>, runs: &[RunRequest]) -> Json {
+    let c = &state.counters;
+    let mut slots: Vec<BatchSlot> = Vec::with_capacity(runs.len());
+    // (spec, scale, fp) per leader, in first-seen order.
+    let mut leaders: Vec<(ExperimentSpec, DatasetScale, u64)> = Vec::new();
+    let mut flights: Vec<(u64, Arc<crate::flight::Flight>)> = Vec::new();
+
+    for run in runs {
+        let fp = run.spec.fingerprint(run.scale, ServerState::telemetry());
+        if let Some(cached) = lookup(state, fp, *run) {
+            c.bump("serve.hits", &c.hits);
+            slots.push(BatchSlot::Cached(cached));
+            continue;
+        }
+        match state.flights.join(fp) {
+            Ticket::Follower(flight) => {
+                c.bump("serve.coalesced", &c.coalesced);
+                flights.push((fp, flight));
+                slots.push(BatchSlot::Waiting(fp));
+            }
+            Ticket::Leader(flight) => {
+                leaders.push((run.spec, run.scale, fp));
+                flights.push((fp, flight));
+                slots.push(BatchSlot::Waiting(fp));
+            }
+        }
+    }
+
+    // Admit the cold work group-by-group. Scales are grouped separately
+    // (a group job is homogeneous in scale), machines within a group
+    // ride one queue slot and one functional trace.
+    let mut scales: Vec<DatasetScale> = Vec::new();
+    for &(_, scale, _) in &leaders {
+        if !scales.contains(&scale) {
+            scales.push(scale);
+        }
+    }
+    for scale in scales {
+        let specs = leaders
+            .iter()
+            .filter(|&&(_, s, _)| s == scale)
+            .map(|&(spec, _, _)| spec);
+        for group in trace_groups(specs) {
+            let entries: Vec<JobEntry> = group
+                .specs()
+                .map(|spec| {
+                    let fp = leaders
+                        .iter()
+                        .find(|&&(s, sc, _)| s == spec && sc == scale)
+                        .map(|&(_, _, fp)| fp)
+                        .expect("every group member came from `leaders`");
+                    JobEntry {
+                        fp,
+                        machine: spec.machine,
+                    }
+                })
+                .collect();
+            let fps: Vec<u64> = entries.iter().map(|e| e.fp).collect();
+            let admission = state
+                .queue
+                .try_admit(group.dataset, group.algo, scale, entries);
+            match admission {
+                Admission::Queued => {}
+                Admission::Grouped => {
+                    for _ in &fps {
+                        c.bump("serve.grouped", &c.grouped);
+                    }
+                }
+                Admission::Full(depth) => {
+                    let err = Arc::new(OmegaError::Busy {
+                        queue_depth: depth,
+                        queue_limit: state.config.queue_depth,
+                    });
+                    for fp in fps {
+                        c.bump("serve.shed", &c.shed);
+                        state.flights.complete(fp, Err(Arc::clone(&err)));
+                    }
+                }
+                Admission::Closed => {
+                    let err = Arc::new(OmegaError::ShuttingDown);
+                    for fp in fps {
+                        state.flights.complete(fp, Err(Arc::clone(&err)));
+                    }
+                }
+            }
+        }
+    }
+
+    // Collect: every waiting slot resolves through its flight; error
+    // outcomes (busy included) stay per-spec so one shed group does not
+    // poison the rest of the batch.
+    let results: Vec<Response> = slots
+        .into_iter()
+        .map(|slot| match slot {
+            BatchSlot::Cached(payload) => Response::Ok((*payload).clone()),
+            BatchSlot::Waiting(fp) => {
+                let flight = flights
+                    .iter()
+                    .find(|(f, _)| *f == fp)
+                    .map(|(_, flight)| Arc::clone(flight))
+                    .expect("every waiting slot joined a flight");
+                match flight.wait() {
+                    Ok(payload) => Response::Ok((*payload).clone()),
+                    Err(e) => {
+                        match *e {
+                            OmegaError::Busy { .. } => {}
+                            _ => c.bump("serve.errors", &c.errors),
+                        }
+                        Response::from_error(&e)
+                    }
+                }
+            }
+        })
+        .collect();
+    proto::batch_payload(&results)
+}
+
 fn worker_loop(state: &Arc<ServerState>) {
     let c = &state.counters;
     while let Some(job) = state.queue.pop() {
         c.inflight.fetch_add(1, Ordering::Relaxed);
-        let _span = obs::span_owned(format!("serve.compute:{}", job.spec.label()));
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compute(state, &job)));
-        let result: FlightResult = match outcome {
-            Ok(r) => r,
-            Err(_) => Err(Arc::new(OmegaError::Internal(format!(
-                "worker panicked computing {}",
-                job.spec.label()
-            )))),
-        };
-        match &result {
-            Ok(_) => c.bump("serve.misses", &c.misses),
-            Err(_) => c.bump("serve.errors", &c.errors),
-        }
-        // Memo first (inside `compute`), then flight retirement: a
-        // racing request either joins the flight or hits the memo.
-        state.flights.complete(job.fp, result);
+        run_job(state, job);
         c.inflight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
-/// Builds (or fetches) everything an experiment needs and replays it.
-fn compute(state: &Arc<ServerState>, job: &Job) -> FlightResult {
-    if state.config.job_delay_ms > 0 {
-        std::thread::sleep(Duration::from_millis(state.config.job_delay_ms));
+/// Computes one group job: graph and functional trace once (through the
+/// build-once registries), then one replay per entry, retiring each
+/// entry's flight as soon as its replay lands. A panic anywhere fails
+/// the remaining entries with a structured internal error instead of
+/// stranding their waiters.
+fn run_job(state: &Arc<ServerState>, job: Job) {
+    let c = &state.counters;
+    let _span = obs::span_owned(format!("serve.group:{}", job.label()));
+    let shared = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prepare(state, &job)));
+    let shared = match shared {
+        Ok(Ok(shared)) => shared,
+        Ok(Err(e)) => {
+            fail_entries(state, &job.entries, 0, e);
+            return;
+        }
+        Err(_) => {
+            fail_entries(
+                state,
+                &job.entries,
+                0,
+                Arc::new(OmegaError::Internal(format!(
+                    "worker panicked preparing {}",
+                    job.label()
+                ))),
+            );
+            return;
+        }
+    };
+    for i in 0..job.entries.len() {
+        let entry = &job.entries[i];
+        let spec = ExperimentSpec::new(job.dataset, job.algo, entry.machine);
+        let _span = obs::span_owned(format!("serve.compute:{}", spec.label()));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            compute_one(state, &shared, spec, entry.fp)
+        }));
+        match outcome {
+            Ok(result) => {
+                match &result {
+                    Ok(_) => c.bump("serve.misses", &c.misses),
+                    Err(_) => c.bump("serve.errors", &c.errors),
+                }
+                // Memo first (inside `compute_one`), then flight
+                // retirement: a racing request either joins the flight
+                // or hits the memo.
+                state.flights.complete(entry.fp, result);
+            }
+            Err(_) => {
+                fail_entries(
+                    state,
+                    &job.entries,
+                    i,
+                    Arc::new(OmegaError::Internal(format!(
+                        "worker panicked computing {}",
+                        spec.label()
+                    ))),
+                );
+                return;
+            }
+        }
     }
-    let d = job.spec.dataset;
+}
+
+/// Completes entries `from..` with `err` (error paths of [`run_job`]).
+fn fail_entries(state: &Arc<ServerState>, entries: &[JobEntry], from: usize, err: Arc<OmegaError>) {
+    let c = &state.counters;
+    for entry in &entries[from..] {
+        c.bump("serve.errors", &c.errors);
+        state.flights.complete(entry.fp, Err(Arc::clone(&err)));
+    }
+}
+
+/// What a group job shares across its entries.
+struct SharedInputs {
+    graph: Arc<Result<CsrGraph, String>>,
+    bundle: Arc<Result<TraceBundle, String>>,
+}
+
+/// Builds (or fetches) the group's graph and functional trace.
+fn prepare(state: &Arc<ServerState>, job: &Job) -> Result<SharedInputs, Arc<OmegaError>> {
+    let d = job.dataset;
     let graph = state.graphs.get_or_build((d, job.scale), || {
         d.build(job.scale).map_err(|e| e.to_string())
     });
@@ -494,11 +834,11 @@ fn compute(state: &Arc<ServerState>, job: &Job) -> FlightResult {
             ))))
         }
     };
-    let algo = job.spec.algo.algo(g);
+    let algo = job.algo.algo(g);
     if !algo.supports(g) {
         return Err(Arc::new(OmegaError::Unsupported(format!(
             "{} needs an undirected graph; {} is directed",
-            job.spec.algo.name(),
+            job.algo.name(),
             d.code()
         ))));
     }
@@ -507,9 +847,9 @@ fn compute(state: &Arc<ServerState>, job: &Job) -> FlightResult {
     // (the same assumption `Session::prefetch` makes).
     let bundle = state
         .traces
-        .get_or_build((d, job.spec.algo.name(), job.scale), || {
+        .get_or_build((d, job.algo.name(), job.scale), || {
             let exec = ExecConfig {
-                n_cores: job.spec.machine.system().machine.core.n_cores,
+                n_cores: job.entries[0].machine.system().machine.core.n_cores,
                 ..ExecConfig::default()
             };
             let (checksum, raw, meta) = trace_algorithm(g, algo, &exec);
@@ -519,16 +859,38 @@ fn compute(state: &Arc<ServerState>, job: &Job) -> FlightResult {
                 meta,
             })
         });
-    let bundle = match bundle.as_ref() {
-        Ok(b) => b,
-        Err(e) => {
-            return Err(Arc::new(OmegaError::Internal(format!(
-                "tracing {}: {e}",
-                job.spec.label()
-            ))))
-        }
-    };
-    let system = ServerState::system_for(job.spec);
+    if let Err(e) = bundle.as_ref() {
+        return Err(Arc::new(OmegaError::Internal(format!(
+            "tracing {}: {e}",
+            job.label()
+        ))));
+    }
+    Ok(SharedInputs { graph, bundle })
+}
+
+/// Replays one spec against the group's shared trace, persists it, and
+/// memoises the serialised payload.
+fn compute_one(
+    state: &Arc<ServerState>,
+    shared: &SharedInputs,
+    spec: ExperimentSpec,
+    fp: u64,
+) -> FlightResult {
+    if state.config.job_delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(state.config.job_delay_ms));
+    }
+    let g = shared
+        .graph
+        .as_ref()
+        .as_ref()
+        .expect("prepare() vetted the graph");
+    let bundle = shared
+        .bundle
+        .as_ref()
+        .as_ref()
+        .expect("prepare() vetted the trace");
+    let algo = spec.algo.algo(g);
+    let system = ServerState::system_for(spec);
     let report = replay_report_parallel(
         algo.name(),
         bundle.checksum,
@@ -538,15 +900,15 @@ fn compute(state: &Arc<ServerState>, job: &Job) -> FlightResult {
         state.config.effective_staging(),
     );
     if let Some(store) = &state.store {
-        if let Err(e) = store.store_report(job.fp, &job.spec.label(), &report) {
+        if let Err(e) = store.store_report(fp, &spec.label(), &report) {
             eprintln!(
                 "omega-serve: warning: failed to persist {}: {e}",
-                job.spec.label()
+                spec.label()
             );
         }
     }
     let payload = Arc::new(run_report_to_json(&report, &system));
-    lock(&state.memo).insert(job.fp, Arc::clone(&payload));
+    state.memo.insert(fp, Arc::clone(&payload));
     Ok(payload)
 }
 
@@ -569,9 +931,11 @@ fn stats_payload(state: &Arc<ServerState>) -> Json {
     let mut o = Json::obj();
     o.set("schema", Json::Str(STATS_SCHEMA.to_string()));
     o.set("requests", num(c.requests.load(Ordering::Relaxed)));
+    o.set("batches", num(c.batches.load(Ordering::Relaxed)));
     o.set("hits", num(c.hits.load(Ordering::Relaxed)));
     o.set("misses", num(c.misses.load(Ordering::Relaxed)));
     o.set("coalesced", num(c.coalesced.load(Ordering::Relaxed)));
+    o.set("grouped", num(c.grouped.load(Ordering::Relaxed)));
     o.set("shed", num(c.shed.load(Ordering::Relaxed)));
     o.set("errors", num(c.errors.load(Ordering::Relaxed)));
     o.set("inflight", num(c.inflight.load(Ordering::Relaxed)));
@@ -581,6 +945,19 @@ fn stats_payload(state: &Arc<ServerState>) -> Json {
     o.set("workers", num(state.config.effective_workers() as u64));
     o.set("staging", num(state.config.effective_staging() as u64));
     o.set("draining", Json::Bool(state.draining()));
+    let mc = state.memo.counters();
+    o.set("evictions", num(mc.evictions));
+    let mut m = Json::obj();
+    m.set("entries", num(state.memo.len() as u64));
+    m.set("bytes", num(state.memo.bytes() as u64));
+    m.set("capacity", num(state.memo.capacity() as u64));
+    m.set("ttl_ms", num(state.memo.ttl_ms()));
+    m.set("hits", num(mc.hits));
+    m.set("misses", num(mc.misses));
+    m.set("inserts", num(mc.inserts));
+    m.set("evictions", num(mc.evictions));
+    m.set("expired", num(mc.expired));
+    o.set("memo", m);
     if let Some(store) = &state.store {
         let sc = store.counters();
         let mut s = Json::obj();

@@ -172,4 +172,61 @@ mod tests {
         let err = read_frame(&mut Cursor::new(buf), never).unwrap_err();
         assert_eq!(err.code(), "protocol");
     }
+
+    /// Seeded fuzz over the codec: random garbage, bit-flipped valid
+    /// frames, and truncations. The invariant is total robustness —
+    /// every byte sequence either decodes to frames or fails with a
+    /// structured protocol/io error; never a panic, never a hang.
+    #[test]
+    fn malformed_frame_fuzz_never_panics() {
+        use omega_graph::rng::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(0xF0CACC1A);
+
+        // A real v2 request frame to mutate.
+        let mut doc = Json::obj();
+        doc.set("proto", Json::Str("omega-serve/v2".to_string()));
+        doc.set("id", Json::Num(7.0));
+        doc.set("method", Json::Str("ping".to_string()));
+        let mut valid = Vec::new();
+        write_frame(&mut valid, &doc).unwrap();
+
+        for round in 0..3000usize {
+            let buf: Vec<u8> = match round % 3 {
+                // Pure garbage of random length (including empty).
+                0 => {
+                    let len = rng.gen_range(0usize..96);
+                    (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect()
+                }
+                // The valid frame with 1–7 random bit flips, which can
+                // corrupt the length prefix, the UTF-8, or the JSON.
+                1 => {
+                    let mut b = valid.clone();
+                    for _ in 0..rng.gen_range(1usize..8) {
+                        let i = rng.gen_range(0usize..b.len());
+                        b[i] ^= 1 << rng.gen_range(0u32..8);
+                    }
+                    b
+                }
+                // The valid frame truncated at a random point.
+                _ => valid[..rng.gen_range(0usize..valid.len())].to_vec(),
+            };
+            let mut r = Cursor::new(&buf);
+            loop {
+                match read_frame(&mut r, never) {
+                    // A decodable prefix is fine — keep draining, the
+                    // cursor is finite so this terminates.
+                    Ok(Frame::Doc(_)) => continue,
+                    Ok(Frame::Eof) | Ok(Frame::Cancelled) => break,
+                    Err(e) => {
+                        let code = e.code();
+                        assert!(
+                            code == "protocol" || code == "io",
+                            "round {round}: unstructured failure {code}: {e}"
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
 }

@@ -53,6 +53,10 @@ fn full_queue_sheds_with_a_structured_busy_response() {
     .expect("server binds");
     let addr = handle.addr();
 
+    // The three requests use three distinct algorithms: requests that
+    // share `(dataset, algo)` coalesce into an already-queued group job
+    // instead of shedding (covered below), and shedding is exactly what
+    // this test is about.
     std::thread::scope(|s| {
         // First request occupies the single worker...
         let first = s.spawn(move || {
@@ -70,7 +74,7 @@ fn full_queue_sheds_with_a_structured_busy_response() {
         let second = s.spawn(move || {
             let mut c = Client::connect(addr).expect("connect");
             c.run_payload(RunRequest {
-                spec: spec(AlgoKey::PageRank, MachineKind::Omega),
+                spec: spec(AlgoKey::Bfs, MachineKind::Omega),
                 scale: SCALE,
             })
         });
@@ -78,11 +82,12 @@ fn full_queue_sheds_with_a_structured_busy_response() {
             counter(st, "queue_depth") == 1
         });
 
-        // ...and the third is shed immediately with the queue's shape.
+        // ...and the third (an incompatible group) is shed immediately
+        // with the queue's shape.
         let mut c = Client::connect(addr).expect("connect");
         let resp = c
             .run(RunRequest {
-                spec: spec(AlgoKey::PageRank, MachineKind::OmegaNoPisc),
+                spec: spec(AlgoKey::Sssp, MachineKind::OmegaNoPisc),
                 scale: SCALE,
             })
             .expect("call completes");
@@ -107,6 +112,79 @@ fn full_queue_sheds_with_a_structured_busy_response() {
     assert_eq!(counter(&stats, "errors"), 0);
     assert_eq!(counter(&stats, "inflight"), 0);
     assert_eq!(counter(&stats, "queue_depth"), 0);
+
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown ack");
+    handle.wait();
+}
+
+/// A request compatible with an already-queued group rides its slot:
+/// even a full queue answers it (grouping never consumes a slot), and
+/// it completes with a real payload instead of `busy`.
+#[test]
+fn compatible_request_joins_a_queued_group_instead_of_shedding() {
+    let handle = serve(ServeConfig {
+        jobs: 1,
+        workers: 1,
+        queue_depth: 1,
+        job_delay_ms: 1200,
+        ..ServeConfig::default()
+    })
+    .expect("server binds");
+    let addr = handle.addr();
+
+    std::thread::scope(|s| {
+        // Occupy the worker with one group...
+        let first = s.spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            c.run_payload(RunRequest {
+                spec: spec(AlgoKey::PageRank, MachineKind::Baseline),
+                scale: SCALE,
+            })
+        });
+        await_stats(addr, "the worker to go busy", |st| {
+            counter(st, "inflight") == 1
+        });
+
+        // ...fill the depth-1 queue with a bfs group...
+        let second = s.spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            c.run_payload(RunRequest {
+                spec: spec(AlgoKey::Bfs, MachineKind::Omega),
+                scale: SCALE,
+            })
+        });
+        await_stats(addr, "the queue to fill", |st| {
+            counter(st, "queue_depth") == 1
+        });
+
+        // ...and submit a *compatible* spec (same dataset and algo,
+        // different machine). The queue is full, yet it is admitted by
+        // joining the queued bfs group.
+        let mut c = Client::connect(addr).expect("connect");
+        let payload = c
+            .run_payload(RunRequest {
+                spec: spec(AlgoKey::Bfs, MachineKind::Baseline),
+                scale: SCALE,
+            })
+            .expect("grouped request completes with a payload, not busy");
+        assert_eq!(
+            payload.get("schema").and_then(|v| v.as_str()),
+            Some("omega-run-report/v1"),
+        );
+
+        assert!(first.join().unwrap().is_ok());
+        assert!(second.join().unwrap().is_ok());
+    });
+
+    let stats = await_stats(addr, "all three computations to finish", |st| {
+        counter(st, "misses") == 3
+    });
+    assert_eq!(counter(&stats, "grouped"), 1, "one request rode the group");
+    assert_eq!(counter(&stats, "shed"), 0, "nothing was shed");
+    assert_eq!(counter(&stats, "errors"), 0);
 
     Client::connect(addr)
         .expect("connect")

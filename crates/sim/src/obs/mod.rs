@@ -292,6 +292,19 @@ pub fn counter_add(name: &'static str, v: u64) {
     *r.counters.entry(name.to_string()).or_insert(0) += v;
 }
 
+/// Sets the named counter to `v` (gauge semantics — last write wins).
+/// Monotonic sums use [`counter_add`]; sizes of bounded structures (the
+/// `omega-serve` memo entry/byte gauges) use this. One branch when
+/// disabled.
+#[inline]
+pub fn counter_set(name: &'static str, v: u64) {
+    if !profiling_enabled() {
+        return;
+    }
+    let mut r = registry();
+    r.counters.insert(name.to_string(), v);
+}
+
 /// The named counters' current values, sorted by name, *without* draining
 /// or disabling anything — the live view a long-running service (the
 /// `omega-serve` `stats` method) reads while spans keep recording. Empty

@@ -80,15 +80,18 @@ esac
 echo "ci: wrote target/figures-{cold,warm}.txt, target/profile-report.json,"
 echo "ci:   and target/store-verify.json"
 
-# Service smoke: boot omega-serve against the store the figure sweep just
-# warmed, run the same batch twice over the wire, and require (a) the two
-# batch outputs byte-identical (cache-served responses match computed
-# ones), (b) zero shed and a non-zero hit count on the second pass, and
-# (c) a clean drain on shutdown. The server self-profiles for the whole
-# lifetime; the profile report is a CI artifact.
+# Service smoke: boot omega-serve (--jobs 4, memo capped at 2 entries so
+# the 4-spec batch *must* evict) against the store the figure sweep just
+# warmed, then drive the same batch through all three wire shapes —
+# pipelined v2 frames twice, then one server-side grouped batch — and
+# require (a) all three outputs byte-identical (flight-, memo-, store-
+# and eviction-reloaded responses all match), (b) zero shed, a non-zero
+# hit count, and a non-zero `evictions` counter in the v2 stats payload,
+# and (c) a clean drain on shutdown. The server self-profiles for the
+# whole lifetime; the profile and v2 stats reports are CI artifacts.
 rm -f target/serve-port
 ./target/release/omega-serve --addr 127.0.0.1:0 --port-file target/serve-port \
-  --store "$store_dir/store" --jobs 2 --queue-depth 8 \
+  --store "$store_dir/store" --jobs 4 --queue-depth 8 --memo-entries 2 \
   --profile-out target/serve-profile.json &
 serve_pid=$!
 for _ in $(seq 1 100); do
@@ -99,26 +102,36 @@ serve_addr=$(cat target/serve-port)
 batch="sd:pagerank:baseline sd:pagerank:omega sd:bfs:omega sd:bfs:baseline"
 ./target/release/omega-client ping --addr "$serve_addr"
 # shellcheck disable=SC2086
-./target/release/omega-client batch --addr "$serve_addr" --scale tiny $batch \
-  > target/serve-batch-cold.txt
+./target/release/omega-client batch --pipeline --addr "$serve_addr" \
+  --scale tiny $batch > target/serve-batch-cold.txt
 # shellcheck disable=SC2086
-./target/release/omega-client batch --addr "$serve_addr" --scale tiny $batch \
-  > target/serve-batch-warm.txt
+./target/release/omega-client batch --pipeline --addr "$serve_addr" \
+  --scale tiny $batch > target/serve-batch-warm.txt
+# shellcheck disable=SC2086
+./target/release/omega-client batch --grouped --addr "$serve_addr" \
+  --scale tiny $batch > target/serve-batch-grouped.txt
 cmp target/serve-batch-cold.txt target/serve-batch-warm.txt
+cmp target/serve-batch-cold.txt target/serve-batch-grouped.txt
 ./target/release/omega-client stats --addr "$serve_addr" \
   > target/serve-stats.json
+grep -q '"schema": "omega-serve-stats/v2"' target/serve-stats.json \
+  || { echo "ci: stats payload is not omega-serve-stats/v2" >&2; exit 1; }
 hits=$(grep -o '"hits": [0-9]*' target/serve-stats.json | head -1 \
   | grep -o '[0-9]*$')
 shed=$(grep -o '"shed": [0-9]*' target/serve-stats.json | head -1 \
   | grep -o '[0-9]*$')
-echo "ci: serve smoke hits=$hits shed=$shed"
-[ "$shed" -eq 0 ] || { echo "ci: serve shed requests under a sequential batch" >&2; exit 1; }
+evictions=$(grep -o '"evictions": [0-9]*' target/serve-stats.json | head -1 \
+  | grep -o '[0-9]*$')
+echo "ci: serve smoke hits=$hits shed=$shed evictions=$evictions"
+[ "$shed" -eq 0 ] || { echo "ci: serve shed requests under the pipelined batch" >&2; exit 1; }
 [ "$hits" -gt 0 ] || { echo "ci: warm batch produced no cache hits" >&2; exit 1; }
+[ -n "$evictions" ] || { echo "ci: stats payload lacks the evictions counter" >&2; exit 1; }
+[ "$evictions" -gt 0 ] || { echo "ci: 4 specs through a 2-entry memo must evict" >&2; exit 1; }
 ./target/release/omega-client shutdown --addr "$serve_addr"
 wait "$serve_pid"
 serve_pid=""
 [ -s target/serve-profile.json ] || { echo "ci: missing serve profile artifact" >&2; exit 1; }
-echo "ci: wrote target/serve-batch-{cold,warm}.txt, target/serve-stats.json,"
-echo "ci:   and target/serve-profile.json"
+echo "ci: wrote target/serve-batch-{cold,warm,grouped}.txt,"
+echo "ci:   target/serve-stats.json, and target/serve-profile.json"
 
 echo "ci: all checks passed"
