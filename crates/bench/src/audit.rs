@@ -139,7 +139,7 @@ const DATASETS: [Dataset; 5] = [
 
 /// Machines the fuzzer draws from — every [`MachineKind`], with a fixed
 /// valid permille for the scaled-scratchpad variant.
-const MACHINES: [MachineKind; 8] = [
+const MACHINES: [MachineKind; 10] = [
     MachineKind::Baseline,
     MachineKind::Omega,
     MachineKind::OmegaScaledSp { permille: 250 },
@@ -148,6 +148,8 @@ const MACHINES: [MachineKind; 8] = [
     MachineKind::OmegaChunkMismatch,
     MachineKind::OmegaOffchip,
     MachineKind::LockedCache,
+    MachineKind::PimRank,
+    MachineKind::SpecializedCache,
 ];
 
 /// Seeded differential configuration fuzzer.

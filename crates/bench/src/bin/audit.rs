@@ -9,7 +9,7 @@
 //! ```
 //!
 //! `--quick` trims the sweep to three workloads and the fuzzer to a
-//! handful of cases (CI's configuration; still covers all eight machine
+//! handful of cases (CI's configuration; still covers all ten machine
 //! kinds). `--seed` fixes the fuzzer stream, `--cases` its length.
 //! `--jobs N` runs every replay — the machine sweep and all fuzzer
 //! oracles — through the staged parallel engine at that worker budget;
@@ -56,7 +56,11 @@ fn parse_args() -> Result<Options, String> {
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if opts.obs.try_parse_flag(&a, &mut args)? {
+        if opts
+            .obs
+            .try_parse_flag(&a, &mut args)
+            .map_err(|e| e.to_string())?
+        {
             continue;
         }
         match a.as_str() {
@@ -85,9 +89,9 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-/// All eight machine kinds — the sweep must stay exhaustive even in
+/// All ten machine kinds — the sweep must stay exhaustive even in
 /// `--quick` mode.
-const MACHINES: [MachineKind; 8] = [
+const MACHINES: [MachineKind; 10] = [
     MachineKind::Baseline,
     MachineKind::Omega,
     MachineKind::OmegaScaledSp { permille: 250 },
@@ -96,6 +100,8 @@ const MACHINES: [MachineKind; 8] = [
     MachineKind::OmegaChunkMismatch,
     MachineKind::OmegaOffchip,
     MachineKind::LockedCache,
+    MachineKind::PimRank,
+    MachineKind::SpecializedCache,
 ];
 
 /// Cold/warm store equivalence on a throwaway store: a warm session must

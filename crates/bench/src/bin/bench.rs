@@ -66,7 +66,7 @@ fn main() {
         match obs.try_parse_flag(&arg, &mut it) {
             Ok(true) => continue,
             Ok(false) => {}
-            Err(e) => die(&e),
+            Err(e) => die(&e.to_string()),
         }
         match arg.as_str() {
             "--out" => match it.next() {

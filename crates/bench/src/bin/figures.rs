@@ -5,7 +5,7 @@
 //!                 [--profile] [--profile-out FILE] [--trace FILE]
 //! ids: table1 table2 table3 table4 fig3 fig4a fig4b fig5 fig14 fig15
 //!      fig16 fig17 fig18 fig19 fig20 fig21 abl-pisc abl-chunk abl-svb
-//!      abl-reorder all
+//!      abl-reorder rivals channels all
 //! ```
 //!
 //! `--jobs N` caps the total worker-thread budget (default: all cores);
@@ -171,6 +171,8 @@ fn main() {
         "abl-slicing",
         "abl-graphmat",
         "abl-locked",
+        "rivals",
+        "channels",
         "telemetry",
     ];
     let selected: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
@@ -228,6 +230,8 @@ fn main() {
             "abl-slicing" => abl_slicing(&mut session, &values),
             "abl-graphmat" => abl_graphmat(&mut session, &values),
             "abl-locked" => abl_locked(&mut session),
+            "rivals" => rivals(&mut session),
+            "channels" => channels(&mut session, &values),
             "abl-atomics" => abl_atomics(&mut session, &values),
             "telemetry" => telemetry(&session),
             other => eprintln!("unknown experiment id `{other}` (see README)"),
@@ -1421,6 +1425,137 @@ fn abl_locked(s: &mut Session) {
             pct(r.mem.last_level_hit_rate()),
             format!("{:.2}", r.mem.noc.bytes as f64 / 1e6),
             pct(r.engine.atomic_bound_fraction()),
+        ]);
+    }
+    println!("{t}");
+}
+
+/// §IX — the three-way rival comparison: OMEGA's scratchpad+PISC against
+/// a PIM-rank machine (reduce/apply executed at the DRAM rank) and a
+/// GRASP-style specialized cache (degree-ordered pinning in a plain L2,
+/// no scratchpad). Same trace, same hierarchy sizing — only the
+/// vertex-property path differs.
+fn rivals(s: &mut Session) {
+    banner(
+        "rivals",
+        "§IX rival subsystems: omega vs PIM ranks vs specialized cache",
+    );
+    let mut t = Table::new([
+        "workload",
+        "machine",
+        "speedup",
+        "LLC/SP hit %",
+        "noc MB",
+        "atomic stall %",
+        "offloaded ops",
+    ]);
+    for (d, a) in [
+        (Dataset::Lj, AlgoKey::PageRank),
+        (Dataset::Sd, AlgoKey::Bfs),
+        (Dataset::Usa, AlgoKey::Sssp),
+    ] {
+        let base = s.report((d, a, MachineKind::Baseline)).total_cycles;
+        for m in [
+            MachineKind::Baseline,
+            MachineKind::Omega,
+            MachineKind::PimRank,
+            MachineKind::SpecializedCache,
+        ] {
+            let r = s.report((d, a, m)).clone();
+            // OMEGA offloads to the PISC engines behind the scratchpad;
+            // the PIM machine offloads to the rank engines. One column
+            // covers both rival offload paths.
+            let offloaded = r.mem.scratchpad.pisc_ops + r.mem.scratchpad.pim_ops;
+            t.row([
+                format!("{}-{}", a.name(), d.code()),
+                m.label(),
+                format!("{:.2}x", base as f64 / r.total_cycles as f64),
+                pct(r.mem.last_level_hit_rate()),
+                format!("{:.2}", r.mem.noc.bytes as f64 / 1e6),
+                pct(r.engine.atomic_bound_fraction()),
+                offloaded.to_string(),
+            ]);
+        }
+    }
+    println!("{t}");
+}
+
+/// §IX — DRAM channel scaling (Green et al.): how much of each machine's
+/// advantage is really memory-level parallelism. The PIM machine's rank
+/// count grows with the channel count, so it is the one whose standing
+/// this sweep can change.
+fn channels(s: &mut Session, vc: &ValueCache) {
+    banner(
+        "channels",
+        "§IX DRAM channel scaling, PageRank on lj (Green et al.: MLP vs compute placement)",
+    );
+    use omega_core::runner::replay;
+    const CHANNELS: [usize; 4] = [1, 2, 4, 8];
+    let systems = |ch: usize| {
+        let mut out = [
+            ("baseline", SystemConfig::mini_baseline()),
+            ("omega", SystemConfig::mini_omega()),
+            ("pim-rank", SystemConfig::mini_pim_rank()),
+        ];
+        for (_, sys) in &mut out {
+            sys.machine.dram.channels = ch;
+        }
+        out
+    };
+    let exec_ser: ExecConfigSer = ExecConfig::default().into();
+    let g = s.graph(Dataset::Lj).clone();
+    let cycles: Vec<u64> = vc.get_or(
+        "channels",
+        &format!("channels-pagerank-{}", Dataset::Lj.code()),
+        Some(&exec_ser),
+        |h| {
+            h.write_str(Dataset::Lj.code());
+            h.write_str("pagerank");
+            for ch in CHANNELS {
+                for (_, sys) in systems(ch) {
+                    sys.canonicalize(h);
+                }
+            }
+        },
+        |v| {
+            let mut out = Vec::new();
+            for ch in CHANNELS {
+                for (label, _) in systems(ch) {
+                    out.push(ju_get(v, &format!("{label}-{ch}"))?);
+                }
+            }
+            Some(out)
+        },
+        || {
+            let algo = AlgoKey::PageRank.algo(&g);
+            let (_, raw, meta) = trace_algorithm(&g, algo, &ExecConfig::default());
+            let mut o = Json::obj();
+            for ch in CHANNELS {
+                for (label, sys) in systems(ch) {
+                    let (report, _, _, _) = replay(&raw, &meta, &sys);
+                    o.set(format!("{label}-{ch}").as_str(), ju(report.total_cycles));
+                }
+            }
+            o
+        },
+    );
+    let mut t = Table::new([
+        "channels",
+        "baseline cycles",
+        "omega",
+        "pim-rank",
+        "omega speedup",
+        "pim speedup",
+    ]);
+    for (i, ch) in CHANNELS.iter().enumerate() {
+        let [base, omega, pim] = [cycles[3 * i], cycles[3 * i + 1], cycles[3 * i + 2]];
+        t.row([
+            ch.to_string(),
+            base.to_string(),
+            omega.to_string(),
+            pim.to_string(),
+            format!("{:.2}x", base as f64 / omega as f64),
+            format!("{:.2}x", base as f64 / pim as f64),
         ]);
     }
     println!("{t}");

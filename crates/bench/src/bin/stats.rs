@@ -76,7 +76,7 @@ fn dump(args: &[String]) -> ExitCode {
         match obs.try_parse_flag(&flag, &mut it) {
             Ok(true) => continue,
             Ok(false) => {}
-            Err(e) => return usage_error(&e),
+            Err(e) => return usage_error(&e.to_string()),
         }
         let Some(value) = it.next() else {
             return usage_error(&format!("{flag} needs a value"));

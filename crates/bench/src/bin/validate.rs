@@ -93,7 +93,8 @@ fn main() -> ExitCode {
     // 6. Road networks stay modest (Fig 18 crossover). At tiny scale both
     // graphs fit the standard scratchpads whole, so the crossover is only
     // visible with capacity-constrained scratchpads (~6% of standard).
-    let constrained = MachineKind::scaled_sp(63).expect("63‰ keeps the scratchpad above the floor");
+    let constrained = MachineKind::scaled_sp(MachineKind::Omega, 63)
+        .expect("63‰ keeps the scratchpad above the floor");
     let lb = s
         .report((Dataset::Lj, AlgoKey::PageRank, MachineKind::Baseline))
         .total_cycles;

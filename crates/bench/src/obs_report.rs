@@ -17,6 +17,7 @@
 
 use crate::json::Json;
 use crate::table::Table;
+use omega_core::error::OmegaError;
 use omega_sim::obs::{self, ObsDump};
 
 /// Schema tag of the profile report document.
@@ -264,25 +265,37 @@ pub struct ObsOptions {
 impl ObsOptions {
     /// Consumes `arg` if it is one of the obs flags (pulling a value from
     /// `rest` where needed). Returns `Ok(true)` when consumed, `Ok(false)`
-    /// when the flag is not ours, `Err` on a missing value.
+    /// when the flag is not ours, and [`OmegaError::InvalidConfig`] when a
+    /// value is missing or a path-taking flag is repeated — two `--trace`
+    /// destinations cannot both win, so last-wins would silently drop one.
     pub fn try_parse_flag(
         &mut self,
         arg: &str,
         rest: &mut impl Iterator<Item = String>,
-    ) -> Result<bool, String> {
+    ) -> Result<bool, OmegaError> {
+        fn take_path(
+            slot: &mut Option<String>,
+            flag: &str,
+            rest: &mut impl Iterator<Item = String>,
+        ) -> Result<bool, OmegaError> {
+            if slot.is_some() {
+                return Err(OmegaError::InvalidConfig(format!(
+                    "{flag} given more than once"
+                )));
+            }
+            let value = rest.next().ok_or_else(|| {
+                OmegaError::InvalidConfig(format!("{flag} needs a value (an output path)"))
+            })?;
+            *slot = Some(value);
+            Ok(true)
+        }
         match arg {
             "--profile" => {
                 self.profile = true;
                 Ok(true)
             }
-            "--profile-out" => {
-                self.profile_out = Some(rest.next().ok_or("--profile-out needs a path")?);
-                Ok(true)
-            }
-            "--trace" => {
-                self.trace_out = Some(rest.next().ok_or("--trace needs a path")?);
-                Ok(true)
-            }
+            "--profile-out" => take_path(&mut self.profile_out, arg, rest),
+            "--trace" => take_path(&mut self.trace_out, arg, rest),
             _ => Ok(false),
         }
     }
@@ -448,11 +461,42 @@ mod tests {
         assert!(!o.try_parse_flag("--tiny", &mut rest).unwrap());
         assert!(o.profile);
         assert_eq!(o.trace_out.as_deref(), Some("out.json"));
-        let mut empty = std::iter::empty();
-        assert!(ObsOptions::default()
-            .try_parse_flag("--profile-out", &mut empty)
-            .is_err());
         // Inactive finish touches nothing.
         assert!(ObsOptions::default().finish().is_ok());
+    }
+
+    #[test]
+    fn obs_flags_reject_missing_values_and_duplicates_structurally() {
+        // Missing value: the error is the typed invalid-config variant
+        // with the flag named, identically for both path-taking flags.
+        for flag in ["--profile-out", "--trace"] {
+            let mut empty = std::iter::empty();
+            let err = ObsOptions::default()
+                .try_parse_flag(flag, &mut empty)
+                .unwrap_err();
+            assert_eq!(err.code(), "invalid-config", "{flag}");
+            let msg = err.to_string();
+            assert!(msg.contains(flag), "{msg}");
+            assert!(msg.contains("needs a value"), "{msg}");
+        }
+        // Duplicates: a repeated destination flag must error, not let the
+        // last occurrence silently win.
+        for flag in ["--profile-out", "--trace"] {
+            let mut o = ObsOptions::default();
+            let mut rest = vec!["a.json".to_string(), "b.json".to_string()].into_iter();
+            assert!(o.try_parse_flag(flag, &mut rest).unwrap());
+            let err = o.try_parse_flag(flag, &mut rest).unwrap_err();
+            assert_eq!(err.code(), "invalid-config", "{flag}");
+            assert!(err.to_string().contains("more than once"), "{err}");
+            // The first destination survives the rejected repeat.
+            let kept = o.profile_out.as_deref().or(o.trace_out.as_deref());
+            assert_eq!(kept, Some("a.json"), "{flag}");
+        }
+        // `--profile` is an idempotent toggle: repeating it is harmless.
+        let mut o = ObsOptions::default();
+        let mut empty = std::iter::empty();
+        assert!(o.try_parse_flag("--profile", &mut empty).unwrap());
+        assert!(o.try_parse_flag("--profile", &mut empty).unwrap());
+        assert!(o.profile);
     }
 }

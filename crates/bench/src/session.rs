@@ -41,6 +41,15 @@ pub enum MachineKind {
     /// The §IX locked-cache alternative: hot vtxProp lines pinned in a
     /// full-size L2, no scratchpads, no PISCs.
     LockedCache,
+    /// The PIM-rank rival: a plain full-size-L2 hierarchy whose monitored
+    /// vertex-update atomics execute at the DRAM rank (per-rank compute
+    /// engines), trading NoC round trips for rank-level parallelism. No
+    /// scratchpad.
+    PimRank,
+    /// The GRASP-style domain-specialized cache rival: a plain hierarchy
+    /// whose insertion/protection policy pins the hottest vertices'
+    /// property lines in the L2. No scratchpad.
+    SpecializedCache,
 }
 
 impl MachineKind {
@@ -48,11 +57,11 @@ impl MachineKind {
     /// (one cache line's worth of vertex properties).
     pub const MIN_SP_BYTES: u64 = 64;
 
-    /// The seven fixed machine kinds, in figure order — everything except
+    /// The nine fixed machine kinds, in figure order — everything except
     /// the parameterised [`MachineKind::OmegaScaledSp`], whose labels
     /// (`omega-spNNN`) form an open family parsed by
     /// [`MachineKind::from_name`].
-    pub const NAMED: [MachineKind; 7] = [
+    pub const NAMED: [MachineKind; 9] = [
         MachineKind::Baseline,
         MachineKind::Omega,
         MachineKind::OmegaNoPisc,
@@ -60,26 +69,42 @@ impl MachineKind {
         MachineKind::OmegaChunkMismatch,
         MachineKind::OmegaOffchip,
         MachineKind::LockedCache,
+        MachineKind::PimRank,
+        MachineKind::SpecializedCache,
     ];
 
-    /// Checked constructor for [`MachineKind::OmegaScaledSp`]: rejects a
-    /// permille whose scaled scratchpad would fall below
-    /// [`MachineKind::MIN_SP_BYTES`], instead of silently simulating a
-    /// larger machine than the label claims.
-    pub fn scaled_sp(permille: u32) -> Result<MachineKind, OmegaError> {
-        let standard = SystemConfig::mini_omega()
-            .omega
-            .expect("mini_omega always has an omega config")
-            .sp_bytes_per_core;
+    /// Checked constructor for [`MachineKind::OmegaScaledSp`], applying
+    /// the Fig. 19 scratchpad scale to `base`. Rejects a permille whose
+    /// scaled scratchpad would fall below [`MachineKind::MIN_SP_BYTES`]
+    /// (instead of silently simulating a larger machine than the label
+    /// claims), and rejects scaling on a machine with no scratchpad —
+    /// previously `with_scratchpad_bytes` would silently ignore the scale
+    /// and simulate the unscaled machine under the scaled label.
+    pub fn scaled_sp(base: MachineKind, permille: u32) -> Result<MachineKind, OmegaError> {
+        let Some(omega) = base.system().omega else {
+            return Err(OmegaError::InvalidConfig(format!(
+                "machine '{}' has no scratchpad to scale",
+                base.label()
+            )));
+        };
+        let standard = omega.sp_bytes_per_core;
         let sp = standard * permille as u64 / 1000;
         if sp < Self::MIN_SP_BYTES {
-            Err(OmegaError::InvalidConfig(format!(
+            return Err(OmegaError::InvalidConfig(format!(
                 "scratchpad scale {permille}‰ of {standard} B yields {sp} B/core, \
                  below the {} B minimum",
                 Self::MIN_SP_BYTES
-            )))
-        } else {
-            Ok(MachineKind::OmegaScaledSp { permille })
+            )));
+        }
+        match base {
+            MachineKind::Omega | MachineKind::OmegaScaledSp { .. } => {
+                Ok(MachineKind::OmegaScaledSp { permille })
+            }
+            _ => Err(OmegaError::InvalidConfig(format!(
+                "the Fig. 19 scratchpad sweep is only modelled on the standard \
+                 omega machine, not '{}'",
+                base.label()
+            ))),
         }
     }
 
@@ -100,7 +125,7 @@ impl MachineKind {
             let permille: u32 = digits
                 .parse()
                 .map_err(|_| OmegaError::unknown_name("machine", name, Self::expected_names()))?;
-            return MachineKind::scaled_sp(permille);
+            return MachineKind::scaled_sp(MachineKind::Omega, permille);
         }
         Err(OmegaError::unknown_name(
             "machine",
@@ -161,6 +186,8 @@ impl MachineKind {
                 s
             }
             MachineKind::LockedCache => SystemConfig::mini_locked_cache(),
+            MachineKind::PimRank => SystemConfig::mini_pim_rank(),
+            MachineKind::SpecializedCache => SystemConfig::mini_specialized_cache(),
         }
     }
 
@@ -175,6 +202,8 @@ impl MachineKind {
             MachineKind::OmegaChunkMismatch => "omega-chunkmis".into(),
             MachineKind::OmegaOffchip => "omega-offchip".into(),
             MachineKind::LockedCache => "locked-cache".into(),
+            MachineKind::PimRank => "pim-rank".into(),
+            MachineKind::SpecializedCache => "specialized-cache".into(),
         }
     }
 }
@@ -857,20 +886,50 @@ mod tests {
                 .mapping_chunk,
             64
         );
+        let pim = MachineKind::PimRank.system();
+        assert!(pim.pim_rank.is_some() && pim.omega.is_none());
+        let sc = MachineKind::SpecializedCache.system();
+        assert!(sc.specialized_cache.is_some() && sc.omega.is_none());
+        assert_eq!(pim.label(), "pim-rank");
+        assert_eq!(sc.label(), "specialized-cache");
     }
 
     #[test]
     fn scaled_sp_validates_the_permille() {
         // 8 ‰ of 8 KiB is 65 B, just above the 64 B floor; 7 ‰ (57 B)
         // falls below it.
-        assert!(MachineKind::scaled_sp(8).is_ok());
-        assert!(MachineKind::scaled_sp(1000).is_ok());
-        let err = MachineKind::scaled_sp(7).unwrap_err();
+        assert!(MachineKind::scaled_sp(MachineKind::Omega, 8).is_ok());
+        assert!(MachineKind::scaled_sp(MachineKind::Omega, 1000).is_ok());
+        let err = MachineKind::scaled_sp(MachineKind::Omega, 7).unwrap_err();
         assert!(err.to_string().contains("below"), "{err}");
         assert_eq!(err.code(), "invalid-config");
         // The validated instance builds the size its label claims.
-        let sys = MachineKind::scaled_sp(8).unwrap().system();
+        let sys = MachineKind::scaled_sp(MachineKind::Omega, 8)
+            .unwrap()
+            .system();
         assert_eq!(sys.omega.unwrap().sp_bytes_per_core, 65);
+    }
+
+    #[test]
+    fn scaled_sp_rejects_scratchpad_less_machines() {
+        // The scratchpad-less kinds have nothing to scale; rejecting is
+        // better than the old behaviour, where `with_scratchpad_bytes`
+        // silently no-opped and the unscaled machine ran under a scaled
+        // label.
+        for m in [
+            MachineKind::PimRank,
+            MachineKind::SpecializedCache,
+            MachineKind::Baseline,
+            MachineKind::LockedCache,
+        ] {
+            let err = MachineKind::scaled_sp(m, 500).unwrap_err();
+            assert_eq!(err.code(), "invalid-config", "{m:?}");
+            assert!(err.to_string().contains("no scratchpad"), "{m:?}: {err}");
+        }
+        // The omega ablations do have scratchpads, but the sweep is only
+        // modelled on the standard machine — still a loud error.
+        let err = MachineKind::scaled_sp(MachineKind::OmegaNoPisc, 500).unwrap_err();
+        assert_eq!(err.code(), "invalid-config");
     }
 
     #[test]
@@ -893,6 +952,14 @@ mod tests {
             "OMEGA".parse::<MachineKind>().unwrap(),
             MachineKind::Omega,
             "lookups are case-insensitive"
+        );
+        assert_eq!(
+            "pim-rank".parse::<MachineKind>().unwrap(),
+            MachineKind::PimRank
+        );
+        assert_eq!(
+            "Specialized-Cache".parse::<MachineKind>().unwrap(),
+            MachineKind::SpecializedCache
         );
         let undersized = "omega-sp1".parse::<MachineKind>().unwrap_err();
         assert_eq!(undersized.code(), "invalid-config");

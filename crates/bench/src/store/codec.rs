@@ -99,6 +99,7 @@ fn mem_stats_to_json(m: &MemStats) -> Json {
     dram.set("row_hits", ju64(m.dram.row_hits));
     dram.set("row_conflicts", ju64(m.dram.row_conflicts));
     dram.set("row_opens", ju64(m.dram.row_opens));
+    dram.set("open_page_accesses", ju64(m.dram.open_page_accesses));
     let mut atomics = Json::obj();
     atomics.set("executed", ju64(m.atomics.executed));
     atomics.set("lock_wait_cycles", ju64(m.atomics.lock_wait_cycles));
@@ -146,6 +147,7 @@ fn mem_stats_from_json(v: &Json) -> Result<MemStats, OmegaError> {
             row_hits: fu64(dram, "row_hits")?,
             row_conflicts: fu64(dram, "row_conflicts")?,
             row_opens: fu64(dram, "row_opens")?,
+            open_page_accesses: fu64(dram, "open_page_accesses")?,
         },
         atomics: AtomicStats {
             executed: fu64(atomics, "executed")?,
@@ -364,6 +366,7 @@ mod tests {
         let mut delta = MemStats::default();
         delta.l1.hits = (1 << 53) + 12345; // not exactly representable in f64
         delta.dram.bytes = u64::MAX;
+        delta.dram.open_page_accesses = (1 << 53) + 9;
         delta.scratchpad.pisc_ops = 7;
         windows.push(WindowSample {
             end: u64::MAX - 1,

@@ -44,7 +44,11 @@ pub mod codec;
 /// every entry. Bump when the payload encoding or the fingerprinted field
 /// set changes — old entries then become unreachable (and `gc`-able)
 /// instead of being misread.
-pub const STORE_FORMAT_VERSION: u32 = 2;
+///
+/// v3: `MemStats` grew `dram.open_page_accesses` (the row-outcome
+/// partition denominator) and `SystemConfig` grew the `pim_rank` /
+/// `specialized_cache` machine coordinates.
+pub const STORE_FORMAT_VERSION: u32 = 3;
 
 /// Schema identifier embedded in every store entry file.
 pub const STORE_ENTRY_SCHEMA: &str = "omega-store-entry/v1";

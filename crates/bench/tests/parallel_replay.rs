@@ -76,9 +76,45 @@ fn report_at(
     replay_report_parallel(algo.name(), checksum, raw, meta, sys, parallelism)
 }
 
+/// The two new rival machines (PIM ranks, specialized cache) across
+/// workloads and topologies — power-law and road network — at every
+/// worker count the CI gates use. The PIM machine's per-rank compute
+/// ledgers are globally-ordered contention state, so staging must not
+/// perturb a single counter.
+#[test]
+fn rival_machines_replay_identically_across_datasets() {
+    for dataset in [Dataset::Sd, Dataset::Usa] {
+        let g = dataset.build(DatasetScale::Tiny).unwrap();
+        for algo_key in [AlgoKey::PageRank, AlgoKey::Bfs, AlgoKey::Sssp] {
+            let algo = algo_key.algo(&g);
+            let exec = ExecConfig {
+                n_cores: MachineKind::Baseline.system().machine.core.n_cores,
+                ..ExecConfig::default()
+            };
+            let (_, raw, meta) = trace_algorithm(&g, algo, &exec);
+            for machine in [MachineKind::PimRank, MachineKind::SpecializedCache] {
+                let mut sys = machine.system();
+                sys.machine.telemetry = TelemetryConfig::windowed(1024);
+                let serial = replay_parallel(&raw, &meta, &sys, 1);
+                for parallelism in [2usize, 4] {
+                    let par = replay_parallel(&raw, &meta, &sys, parallelism);
+                    assert_eq!(
+                        par,
+                        serial,
+                        "{}-{}@{} diverged at parallelism {parallelism}",
+                        algo_key.name(),
+                        dataset.code(),
+                        machine.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Every machine kind the repository simulates, serial vs staged.
 #[test]
-fn all_eight_machine_kinds_replay_identically_in_parallel() {
+fn all_ten_machine_kinds_replay_identically_in_parallel() {
     let machines = [
         MachineKind::Baseline,
         MachineKind::Omega,
@@ -88,6 +124,8 @@ fn all_eight_machine_kinds_replay_identically_in_parallel() {
         MachineKind::OmegaChunkMismatch,
         MachineKind::OmegaOffchip,
         MachineKind::LockedCache,
+        MachineKind::PimRank,
+        MachineKind::SpecializedCache,
     ];
     let g = Dataset::Sd.build(DatasetScale::Tiny).unwrap();
     let algo = AlgoKey::PageRank.algo(&g);

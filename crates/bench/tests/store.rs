@@ -17,7 +17,7 @@ fn temp_store(name: &str) -> PathBuf {
     dir
 }
 
-const ALL_MACHINES: [MachineKind; 8] = [
+const ALL_MACHINES: [MachineKind; 10] = [
     MachineKind::Baseline,
     MachineKind::Omega,
     MachineKind::OmegaScaledSp { permille: 500 },
@@ -26,6 +26,8 @@ const ALL_MACHINES: [MachineKind; 8] = [
     MachineKind::OmegaChunkMismatch,
     MachineKind::OmegaOffchip,
     MachineKind::LockedCache,
+    MachineKind::PimRank,
+    MachineKind::SpecializedCache,
 ];
 
 #[test]
@@ -49,11 +51,52 @@ fn reports_round_trip_across_all_machine_kinds_and_telemetry() {
             assert_eq!(loaded, report, "{}", spec.label());
         }
     }
-    // 8 machines × 2 telemetry settings → 16 distinct fingerprints, all
+    // 10 machines × 2 telemetry settings → 20 distinct fingerprints, all
     // verifying.
     let outcome = store.verify().expect("verify");
-    assert_eq!(outcome.ok, 16);
+    assert_eq!(outcome.ok, 20);
     assert!(outcome.corrupt.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn old_format_version_entries_are_misses_not_errors() {
+    let dir = temp_store("oldversion");
+    let spec = ExperimentSpec::new(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline);
+    let mut s = Session::new(DatasetScale::Tiny)
+        .verbose(false)
+        .with_store(&dir)
+        .expect("store opens");
+    s.report(spec);
+    let fp = spec.fingerprint(DatasetScale::Tiny, TelemetryConfig::off());
+    let path = s.store().expect("attached").entry_path(fp);
+    drop(s);
+
+    // Rewrite the embedded format version to the previous one, as if the
+    // entry had been written by an older build whose fingerprint happened
+    // to collide. The payload and checksum are untouched, so only the
+    // version gate can reject it — and it must reject silently, as a
+    // counted miss, never an error.
+    let text = std::fs::read_to_string(&path).expect("entry readable");
+    let old = format!(
+        "\"version\": {}",
+        omega_bench::store::STORE_FORMAT_VERSION - 1
+    );
+    let downgraded = text.replace(
+        &format!("\"version\": {}", omega_bench::store::STORE_FORMAT_VERSION),
+        &old,
+    );
+    assert_ne!(text, downgraded, "version field must be present to rewrite");
+    std::fs::write(&path, downgraded).expect("rewrite");
+
+    let store = ExperimentStore::open(&dir).expect("reopen");
+    assert!(
+        store.load_report(fp).is_none(),
+        "old-version entry must be a miss"
+    );
+    let counters = store.counters();
+    assert_eq!(counters.misses, 1);
+    assert_eq!(counters.corrupt, 1, "the miss is classified, not fatal");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

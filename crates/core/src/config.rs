@@ -91,6 +91,53 @@ impl Default for OmegaConfig {
     }
 }
 
+/// Parameters of the PIM-rank rival machine (ALPHA-PIM/PIUMA-style):
+/// reduce/apply atomics execute at the DRAM rank instead of on the cores
+/// or in on-chip PISCs, trading NoC round trips for bank-level
+/// parallelism. No scratchpad exists — the L2 keeps its full size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PimRankConfig {
+    /// Compute-capable DRAM ranks per channel; the rank engines are the
+    /// globally-ordered per-rank compute ledgers.
+    pub ranks_per_channel: usize,
+    /// Base service latency of one rank-engine op, in DRAM-side cycles
+    /// (plays the role `sp_latency` plays for a PISC).
+    pub rank_latency: u32,
+    /// Maximum cycles of queued work a rank engine may accumulate before
+    /// the offloading core is back-pressured.
+    pub rank_backlog_cycles: Cycle,
+}
+
+impl Default for PimRankConfig {
+    fn default() -> Self {
+        PimRankConfig {
+            ranks_per_channel: 2,
+            rank_latency: 12,
+            rank_backlog_cycles: 512,
+        }
+    }
+}
+
+/// Parameters of the domain-specialized cache rival (GRASP-style, Faldu
+/// et al.): a plain hierarchy whose insertion/protection policy pins the
+/// top-degree vertices' property lines, selected vertex-major so every
+/// property of a hot vertex is protected together. No scratchpad, no
+/// PISC; atomics execute on the cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecializedCacheConfig {
+    /// Per-core byte budget of protected hot vtxProp lines (matched to
+    /// OMEGA's scratchpad budget for apples-to-apples comparisons).
+    pub protected_bytes_per_core: u64,
+}
+
+impl Default for SpecializedCacheConfig {
+    fn default() -> Self {
+        SpecializedCacheConfig {
+            protected_bytes_per_core: OmegaConfig::default().sp_bytes_per_core,
+        }
+    }
+}
+
 /// A complete machine: the CMP substrate plus, optionally, the OMEGA
 /// extension. `omega == None` is the baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,6 +151,12 @@ pub struct SystemConfig {
     /// vtxProp lines into the (full-size) L2. Mutually exclusive with
     /// `omega`.
     pub locked_cache_bytes: Option<u64>,
+    /// PIM-rank rival machine. Mutually exclusive with `omega`,
+    /// `locked_cache_bytes`, and `specialized_cache`.
+    pub pim_rank: Option<PimRankConfig>,
+    /// GRASP-style specialized-cache rival. Mutually exclusive with the
+    /// other extensions.
+    pub specialized_cache: Option<SpecializedCacheConfig>,
 }
 
 impl SystemConfig {
@@ -113,6 +166,8 @@ impl SystemConfig {
             machine: MachineConfig::mini_baseline(),
             omega: None,
             locked_cache_bytes: None,
+            pim_rank: None,
+            specialized_cache: None,
         }
     }
 
@@ -124,6 +179,8 @@ impl SystemConfig {
             machine: MachineConfig::mini_baseline(),
             omega: None,
             locked_cache_bytes: Some(OmegaConfig::default().sp_bytes_per_core),
+            pim_rank: None,
+            specialized_cache: None,
         }
     }
 
@@ -139,6 +196,8 @@ impl SystemConfig {
             machine: MachineConfig::paper_baseline(),
             omega: None,
             locked_cache_bytes: None,
+            pim_rank: None,
+            specialized_cache: None,
         }
     }
 
@@ -167,6 +226,32 @@ impl SystemConfig {
             machine,
             omega: Some(omega),
             locked_cache_bytes: None,
+            pim_rank: None,
+            specialized_cache: None,
+        }
+    }
+
+    /// Scaled-down PIM-rank machine: the baseline CMP (full-size L2) with
+    /// rank-level compute engines behind every DRAM channel.
+    pub fn mini_pim_rank() -> Self {
+        SystemConfig {
+            machine: MachineConfig::mini_baseline(),
+            omega: None,
+            locked_cache_bytes: None,
+            pim_rank: Some(PimRankConfig::default()),
+            specialized_cache: None,
+        }
+    }
+
+    /// Scaled-down specialized-cache machine: the baseline CMP with a
+    /// GRASP-style hot-vertex protection policy in the (full-size) L2.
+    pub fn mini_specialized_cache() -> Self {
+        SystemConfig {
+            machine: MachineConfig::mini_baseline(),
+            omega: None,
+            locked_cache_bytes: None,
+            pim_rank: None,
+            specialized_cache: Some(SpecializedCacheConfig::default()),
         }
     }
 
@@ -184,12 +269,17 @@ impl SystemConfig {
         self.omega.is_some()
     }
 
-    /// "baseline", "omega", or "locked-cache", for report labels.
+    /// "baseline", "omega", "locked-cache", "pim-rank", or
+    /// "specialized-cache", for report labels.
     pub fn label(&self) -> &'static str {
         if self.is_omega() {
             "omega"
         } else if self.locked_cache_bytes.is_some() {
             "locked-cache"
+        } else if self.pim_rank.is_some() {
+            "pim-rank"
+        } else if self.specialized_cache.is_some() {
+            "specialized-cache"
         } else {
             "baseline"
         }
@@ -245,6 +335,34 @@ impl Canonicalize for SystemConfig {
                 h.write_u64(b);
             }
         }
+        match &self.pim_rank {
+            None => h.write_u8(0),
+            Some(p) => {
+                h.write_u8(1);
+                p.canonicalize(h);
+            }
+        }
+        match &self.specialized_cache {
+            None => h.write_u8(0),
+            Some(s) => {
+                h.write_u8(1);
+                s.canonicalize(h);
+            }
+        }
+    }
+}
+
+impl Canonicalize for PimRankConfig {
+    fn canonicalize(&self, h: &mut Fnv64) {
+        h.write_usize(self.ranks_per_channel);
+        h.write_u32(self.rank_latency);
+        h.write_u64(self.rank_backlog_cycles);
+    }
+}
+
+impl Canonicalize for SpecializedCacheConfig {
+    fn canonicalize(&self, h: &mut Fnv64) {
+        h.write_u64(self.protected_bytes_per_core);
     }
 }
 
@@ -273,6 +391,25 @@ mod tests {
     fn labels() {
         assert_eq!(SystemConfig::mini_baseline().label(), "baseline");
         assert_eq!(SystemConfig::mini_omega().label(), "omega");
+        assert_eq!(SystemConfig::mini_locked_cache().label(), "locked-cache");
+        assert_eq!(SystemConfig::mini_pim_rank().label(), "pim-rank");
+        assert_eq!(
+            SystemConfig::mini_specialized_cache().label(),
+            "specialized-cache"
+        );
+    }
+
+    #[test]
+    fn rival_machines_keep_the_full_l2() {
+        let base = SystemConfig::mini_baseline();
+        assert_eq!(
+            SystemConfig::mini_pim_rank().machine.l2.capacity,
+            base.machine.l2.capacity
+        );
+        assert_eq!(
+            SystemConfig::mini_specialized_cache().machine.l2.capacity,
+            base.machine.l2.capacity
+        );
     }
 
     #[test]
@@ -305,6 +442,8 @@ mod tests {
             SystemConfig::mini_locked_cache(),
             SystemConfig::mini_omega().with_scratchpad_bytes(4 * 1024),
             SystemConfig::paper_omega(),
+            SystemConfig::mini_pim_rank(),
+            SystemConfig::mini_specialized_cache(),
         ];
         for (i, a) in variants.iter().enumerate() {
             assert_eq!(digest(a), digest(&a.clone()));
@@ -319,5 +458,15 @@ mod tests {
         let mut ext = SystemConfig::mini_omega();
         ext.omega.as_mut().unwrap().ext = OffchipExtensions::all();
         assert_ne!(digest(&SystemConfig::mini_omega()), digest(&ext));
+        // Rival sub-fields reach the digest through their Options too.
+        let mut pim = SystemConfig::mini_pim_rank();
+        pim.pim_rank.as_mut().unwrap().ranks_per_channel = 4;
+        assert_ne!(digest(&SystemConfig::mini_pim_rank()), digest(&pim));
+        let mut sc = SystemConfig::mini_specialized_cache();
+        sc.specialized_cache
+            .as_mut()
+            .unwrap()
+            .protected_bytes_per_core = 4 * 1024;
+        assert_ne!(digest(&SystemConfig::mini_specialized_cache()), digest(&sc));
     }
 }

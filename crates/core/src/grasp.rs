@@ -1,0 +1,193 @@
+//! The domain-specialized cache rival (GRASP-style, Faldu et al., "Domain-
+//! Specialized Cache Management for Graph Analytics").
+//!
+//! GRASP keeps the plain cache hierarchy — no scratchpad, no PISC, atomics
+//! on the cores — and instead specialises the *insertion/protection
+//! policy*: cache lines holding the top-degree (reorder-hot) vertices'
+//! properties are protected from eviction. The model realises the policy
+//! as pinning in the L2, like the §IX locked cache, but the selection is
+//! genuinely GRASP's, not the scratchpad controller's:
+//!
+//! * **line-granularity budget** — protection is spent on whole cache
+//!   lines until the byte budget runs out, with none of the scratchpad's
+//!   per-slot valid-byte overhead, so the same budget protects *more*
+//!   hot vertices than OMEGA could make resident;
+//! * **vertex-major priority** — every property of a hot vertex is
+//!   protected together, and the hottest vertices win set-capacity
+//!   conflicts; the §IX locked cache instead pins prop-major (property
+//!   0's whole hot prefix first).
+
+use std::collections::HashSet;
+
+use crate::config::SpecializedCacheConfig;
+use crate::layout::Layout;
+use omega_ligra::trace::TraceMeta;
+use omega_sim::hierarchy::CacheHierarchy;
+use omega_sim::{MachineConfig, LINE_BYTES};
+
+/// Builds a baseline hierarchy under the GRASP-style protection policy.
+/// Returns the memory system and the number of lines protected.
+pub fn specialized_cache_memory(
+    machine: &MachineConfig,
+    layout: &Layout,
+    meta: &TraceMeta,
+    cfg: &SpecializedCacheConfig,
+) -> (CacheHierarchy, usize) {
+    let mut mem = CacheHierarchy::new(machine);
+    let max_lines =
+        (cfg.protected_bytes_per_core * machine.core.n_cores as u64 / LINE_BYTES) as usize;
+    if max_lines == 0 || !meta.props.iter().any(|p| p.monitored) {
+        return (mem, 0);
+    }
+    let n_vertices = meta.n_vertices.min(u32::MAX as u64) as u32;
+    let mut lines: Vec<u64> = Vec::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    'fill: for v in 0..n_vertices {
+        for (id, spec) in meta.props.iter().enumerate() {
+            if !spec.monitored || v as u64 >= spec.len {
+                continue;
+            }
+            let line = layout.prop_addr(id as u16, v) / LINE_BYTES * LINE_BYTES;
+            if seen.insert(line) {
+                lines.push(line);
+                if lines.len() == max_lines {
+                    break 'fill;
+                }
+            }
+        }
+    }
+    let pinned = mem.pin_lines(lines);
+    (mem, pinned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_ligra::trace::PropSpec;
+    use omega_sim::{MemAccess, MemorySystem};
+
+    fn two_prop_meta(n: u64) -> TraceMeta {
+        TraceMeta {
+            props: vec![
+                PropSpec {
+                    entry_bytes: 8,
+                    len: n,
+                    monitored: true,
+                },
+                PropSpec {
+                    entry_bytes: 4,
+                    len: n,
+                    monitored: true,
+                },
+            ],
+            n_vertices: n,
+            n_arcs: 4 * n,
+            weighted: false,
+        }
+    }
+
+    #[test]
+    fn protects_within_budget() {
+        let m = two_prop_meta(100_000);
+        let layout = Layout::new(&m);
+        let machine = MachineConfig::mini_baseline();
+        let cfg = SpecializedCacheConfig::default();
+        let (_, pinned) = specialized_cache_memory(&machine, &layout, &m, &cfg);
+        assert!(pinned > 0);
+        // 8 KB × 16 cores = 128 KB → at most 2048 lines; some sets refuse.
+        assert!(pinned <= 2048);
+    }
+
+    #[test]
+    fn protects_every_property_of_the_hottest_vertices() {
+        let m = two_prop_meta(1_000_000);
+        let layout = Layout::new(&m);
+        let machine = MachineConfig::mini_baseline();
+        let cfg = SpecializedCacheConfig::default();
+        let (mut mem, _) = specialized_cache_memory(&machine, &layout, &m, &cfg);
+        // Thrash the L2 with cold traffic, then touch vertex 0 in *both*
+        // property arrays: vertex-major selection protects both lines.
+        for i in 0..50_000u64 {
+            mem.access(0, MemAccess::read(0x9000_0000 + i * 64, 8), i * 20);
+        }
+        for prop in 0..2u16 {
+            let before = mem.stats().l2;
+            mem.access(1, MemAccess::read(layout.prop_addr(prop, 0), 8), 10_000_000);
+            let after = mem.stats().l2;
+            assert_eq!(
+                after.hits,
+                before.hits + 1,
+                "prop {prop} of a hot vertex must survive the thrashing"
+            );
+        }
+    }
+
+    #[test]
+    fn selection_differs_from_the_locked_cache() {
+        // Under the same tight budget the per-set lockdown cap refuses
+        // late-priority lines on both machines, so *order* decides who is
+        // protected. The locked cache pins in address order: property 0's
+        // whole hot prefix claims every set's pinnable ways and property 1
+        // is starved entirely. GRASP pins vertex-major, so the hottest
+        // vertices keep *both* properties at the cost of a shallower
+        // property-0 prefix. Two probes separate the policies in opposite
+        // directions.
+        let m = two_prop_meta(1_000_000);
+        let layout = Layout::new(&m);
+        let machine = MachineConfig::mini_baseline();
+        let budget = 1024;
+        let (mut locked, _) = crate::locked::locked_cache_memory(&machine, &layout, &m, budget);
+        let cfg = SpecializedCacheConfig {
+            protected_bytes_per_core: budget,
+        };
+        let (mut grasp, _) = specialized_cache_memory(&machine, &layout, &m, &cfg);
+        for mem in [&mut locked, &mut grasp] {
+            for i in 0..50_000u64 {
+                mem.access(0, MemAccess::read(0x9000_0000 + i * 64, 8), i * 20);
+            }
+        }
+        // (probe, locked expects hit, grasp expects hit)
+        let probes = [
+            (layout.prop_addr(1, 0), 0, 1), // prop 1 starved by prop-major order
+            (layout.prop_addr(0, 1000), 1, 0), // deep prop-0 prefix beats vertex-major
+        ];
+        for (probe, locked_hit, grasp_hit) in probes {
+            let locked_before = locked.stats().l2.hits;
+            locked.access(1, MemAccess::read(probe, 8), 10_000_000);
+            let grasp_before = grasp.stats().l2.hits;
+            grasp.access(1, MemAccess::read(probe, 8), 10_000_000);
+            assert_eq!(
+                locked.stats().l2.hits,
+                locked_before + locked_hit,
+                "locked-cache outcome at {probe:#x}"
+            );
+            assert_eq!(
+                grasp.stats().l2.hits,
+                grasp_before + grasp_hit,
+                "specialized-cache outcome at {probe:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn unmonitored_props_are_not_protected() {
+        let m = TraceMeta {
+            props: vec![PropSpec {
+                entry_bytes: 8,
+                len: 1000,
+                monitored: false,
+            }],
+            n_vertices: 1000,
+            n_arcs: 0,
+            weighted: false,
+        };
+        let layout = Layout::new(&m);
+        let (_, pinned) = specialized_cache_memory(
+            &MachineConfig::mini_baseline(),
+            &layout,
+            &m,
+            &SpecializedCacheConfig::default(),
+        );
+        assert_eq!(pinned, 0);
+    }
+}

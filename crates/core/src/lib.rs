@@ -21,6 +21,10 @@
 //! * [`svbuffer`] — the source-vertex buffer of Fig. 11.
 //! * [`locked`] — the §IX locked-cache alternative (hot lines pinned in
 //!   the regular L2), built so the ablation can quantify why OMEGA beats it.
+//! * [`pim`] — `PimRankMemory`, the ALPHA-PIM/PIUMA-style rival: atomic
+//!   vertex updates execute at the DRAM rank instead of on-chip.
+//! * [`grasp`] — the GRASP-style domain-specialized cache rival: a plain
+//!   hierarchy whose protection policy pins hot vertices' property lines.
 //! * [`machine`] — `OmegaMemory`, the full OMEGA memory system implementing
 //!   `omega_sim::MemorySystem`, routing vtxProp accesses to scratchpads at
 //!   word granularity and offloading atomics to PISCs.
@@ -59,16 +63,19 @@ pub mod analytic;
 pub mod config;
 pub mod controller;
 pub mod error;
+pub mod grasp;
 pub mod layout;
 pub mod locked;
 pub mod lower;
 pub mod machine;
 pub mod microcode;
+pub mod pim;
 pub mod pisc;
 pub mod runner;
 pub mod svbuffer;
 
-pub use config::{OmegaConfig, SystemConfig};
+pub use config::{OmegaConfig, PimRankConfig, SpecializedCacheConfig, SystemConfig};
 pub use error::OmegaError;
 pub use machine::OmegaMemory;
+pub use pim::PimRankMemory;
 pub use runner::{run, RunConfig, RunReport};

@@ -460,6 +460,25 @@ fn replay_impl(
         let stats = mem.stats();
         let telemetry = mem.take_telemetry();
         (report, stats, hot, telemetry)
+    } else if system.pim_rank.is_some() {
+        let mut mem = crate::pim::PimRankMemory::new(system, layout.clone(), meta);
+        let report = run(Target::Baseline, &mut mem);
+        if let Some(out) = audit.as_deref_mut() {
+            mem.audit_into(out);
+        }
+        let stats = mem.stats();
+        let telemetry = mem.take_telemetry();
+        (report, stats, 0, telemetry)
+    } else if let Some(sc) = &system.specialized_cache {
+        let (mut mem, _protected) =
+            crate::grasp::specialized_cache_memory(&system.machine, &layout, meta, sc);
+        let report = run(Target::Baseline, &mut mem);
+        if let Some(out) = audit.as_deref_mut() {
+            MemorySystem::audit_into(&mem, out);
+        }
+        let stats = mem.stats();
+        let telemetry = mem.take_telemetry();
+        (report, stats, 0, telemetry)
     } else if let Some(budget) = system.locked_cache_bytes {
         let (mut mem, _pinned) =
             crate::locked::locked_cache_memory(&system.machine, &layout, meta, budget);
@@ -657,11 +676,17 @@ mod tests {
         let reports = Runner::new(SystemConfig::mini_baseline())
             .also(SystemConfig::mini_omega())
             .also(SystemConfig::mini_locked_cache())
+            .also(SystemConfig::mini_pim_rank())
+            .also(SystemConfig::mini_specialized_cache())
             .run_many(&g, Algo::Bfs { root: 0 }.with_default_root(&g));
-        assert_eq!(reports.len(), 3);
+        assert_eq!(reports.len(), 5);
+        // Same functional result on every machine.
+        for r in &reports[1..] {
+            assert_eq!(r.checksum, reports[0].checksum);
+        }
         // Counters are process-global; other parallel tests can only add.
         assert!(functional_trace_count() > traces0);
-        assert!(timing_replay_count() >= replays0 + 3);
+        assert!(timing_replay_count() >= replays0 + 5);
     }
 
     #[test]
@@ -671,6 +696,8 @@ mod tests {
         let runner = Runner::new(SystemConfig::mini_baseline())
             .also(SystemConfig::mini_omega())
             .also(SystemConfig::mini_locked_cache())
+            .also(SystemConfig::mini_pim_rank())
+            .also(SystemConfig::mini_specialized_cache())
             .telemetry(omega_sim::telemetry::TelemetryConfig::windowed(4096));
         let audited = runner.clone().audit(true).run_many(&g, algo);
         let plain = runner.run_many(&g, algo);

@@ -94,6 +94,10 @@ pub struct NodeTable {
     pub scratchpad: Option<AreaPower>,
     /// PISC engine (absent on the baseline).
     pub pisc: Option<AreaPower>,
+    /// Per-core share of the DRAM rank engines (PIM machines only):
+    /// `channels × ranks_per_channel` PISC-class ALUs live at the ranks,
+    /// amortised over the cores.
+    pub rank_engines: Option<AreaPower>,
     /// L2 cache slice.
     pub l2: AreaPower,
 }
@@ -107,6 +111,9 @@ impl NodeTable {
         }
         if let Some(p) = self.pisc {
             t = t.add(p);
+        }
+        if let Some(r) = self.rank_engines {
+            t = t.add(r);
         }
         t
     }
@@ -125,6 +132,14 @@ pub fn node_table(system: &SystemConfig) -> NodeTable {
         ),
         None => (None, None),
     };
+    let rank_engines = system.pim_rank.map(|p| {
+        let engines = (system.machine.dram.channels * p.ranks_per_channel) as f64;
+        let share = engines / system.machine.core.n_cores as f64;
+        AreaPower {
+            power_w: PISC_POWER_W * share,
+            area_mm2: PISC_AREA_MM2 * share,
+        }
+    });
     NodeTable {
         label: system.label().to_string(),
         core: AreaPower {
@@ -137,6 +152,7 @@ pub fn node_table(system: &SystemConfig) -> NodeTable {
         },
         scratchpad: sp,
         pisc,
+        rank_engines,
         l2,
     }
 }
@@ -216,5 +232,28 @@ mod tests {
         let t = node_table(&SystemConfig::mini_baseline());
         assert!(t.scratchpad.is_none());
         assert!(t.pisc.is_none());
+        assert!(t.rank_engines.is_none());
+    }
+
+    #[test]
+    fn rival_machines_carry_only_their_own_rows() {
+        let pim = node_table(&SystemConfig::mini_pim_rank());
+        assert_eq!(pim.label, "pim-rank");
+        assert!(pim.scratchpad.is_none());
+        assert!(pim.pisc.is_none());
+        let engines = pim.rank_engines.expect("rank engines modelled");
+        assert!(engines.power_w > 0.0 && engines.area_mm2 > 0.0);
+        // A handful of rank ALUs amortised over the cores must stay far
+        // below one per-core PISC — the PIM pitch is near-free compute.
+        assert!(engines.area_mm2 < PISC_AREA_MM2);
+
+        let sc = node_table(&SystemConfig::mini_specialized_cache());
+        assert_eq!(sc.label, "specialized-cache");
+        assert!(sc.scratchpad.is_none());
+        assert!(sc.pisc.is_none());
+        assert!(sc.rank_engines.is_none());
+        // The specialized cache is policy-only: its node is the baseline's.
+        let base = node_table(&SystemConfig::mini_baseline());
+        assert_eq!(sc.total(), base.total());
     }
 }

@@ -42,7 +42,9 @@ pub struct EnergyBreakdown {
     pub l2_mj: f64,
     /// Scratchpad dynamic energy.
     pub scratchpad_mj: f64,
-    /// PISC dynamic energy.
+    /// Near-memory compute dynamic energy: PISC ops behind the
+    /// scratchpads, and rank-engine ops on the PIM machines — the same
+    /// ALU class, placed at the scratchpad or at the DRAM rank.
     pub pisc_mj: f64,
     /// Interconnect dynamic energy.
     pub noc_mj: f64,
@@ -125,7 +127,7 @@ pub fn energy_breakdown(report: &RunReport, system: &SystemConfig) -> EnergyBrea
             .omega
             .map(|o| sp_accesses as f64 * sp_access_pj(o.sp_bytes_per_core) * pj_to_mj)
             .unwrap_or(0.0),
-        pisc_mj: m.scratchpad.pisc_ops as f64 * PISC_OP_PJ * pj_to_mj,
+        pisc_mj: (m.scratchpad.pisc_ops + m.scratchpad.pim_ops) as f64 * PISC_OP_PJ * pj_to_mj,
         noc_mj: (m.noc.bytes as f64 * NOC_PJ_PER_BYTE + m.noc.packets as f64 * NOC_PJ_PER_PACKET)
             * pj_to_mj,
         dram_mj: (m.dram.bytes as f64 * DRAM_PJ_PER_BYTE
@@ -202,5 +204,23 @@ mod tests {
     #[test]
     fn scratchpad_access_cheaper_than_cache_access() {
         assert!(sp_access_pj(1024 * 1024) < l2_access_pj(1024 * 1024));
+    }
+
+    #[test]
+    fn pim_rank_ops_are_billed_as_near_memory_compute() {
+        let g = Dataset::Sd.build(DatasetScale::Tiny).unwrap();
+        let (_, pim) = run_pair(
+            &g,
+            Algo::PageRank { iters: 1 },
+            &SystemConfig::mini_baseline(),
+            &SystemConfig::mini_pim_rank(),
+        );
+        assert!(pim.mem.scratchpad.pim_ops > 0, "PIM run offloads ops");
+        let e = energy_breakdown(&pim, &SystemConfig::mini_pim_rank());
+        // No scratchpad exists, but the rank-engine ops draw ALU energy.
+        assert_eq!(e.scratchpad_mj, 0.0);
+        assert!(e.pisc_mj > 0.0);
+        let expected = pim.mem.scratchpad.pim_ops as f64 * PISC_OP_PJ * 1.0e-9;
+        assert!((e.pisc_mj - expected).abs() < 1e-15);
     }
 }

@@ -34,7 +34,7 @@ fn main() -> ExitCode {
         match obs.try_parse_flag(&arg, &mut it) {
             Ok(true) => continue,
             Ok(false) => {}
-            Err(e) => return fail(&e),
+            Err(e) => return fail(&e.to_string()),
         }
         macro_rules! value {
             () => {

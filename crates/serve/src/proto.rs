@@ -500,6 +500,25 @@ mod tests {
     }
 
     #[test]
+    fn rival_machine_kinds_cross_the_wire() {
+        // The typed parse surface is shared with the CLI: the two rival
+        // machines must be addressable by wire name like any other kind.
+        for machine in [MachineKind::PimRank, MachineKind::SpecializedCache] {
+            let req = Request::Run(RunRequest {
+                spec: ExperimentSpec::new(Dataset::Sd, AlgoKey::PageRank, machine),
+                scale: DatasetScale::Tiny,
+            });
+            let doc = request_to_json(&req);
+            assert_eq!(
+                doc.get("machine").and_then(Json::as_str),
+                Some(machine.label().as_str()),
+                "wire name is the CLI label"
+            );
+            assert_eq!(request_from_json(&doc).unwrap(), req);
+        }
+    }
+
+    #[test]
     fn v2_frames_roundtrip_and_echo_ids() {
         let run = RunRequest {
             spec: ExperimentSpec::new(Dataset::Sd, AlgoKey::Bfs, MachineKind::Baseline),

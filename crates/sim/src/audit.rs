@@ -203,15 +203,27 @@ pub fn check_mem_stats(stats: &MemStats, out: &mut AuditReport) {
     );
     out.check(
         "dram",
-        "row outcomes never outnumber accesses",
+        "row outcomes exactly partition the open-page accesses",
         stats.dram.row_hits + stats.dram.row_conflicts + stats.dram.row_opens
-            <= stats.dram.accesses(),
+            == stats.dram.open_page_accesses,
         || {
             format!(
-                "hits {} + conflicts {} + opens {} > accesses {}",
+                "hits {} + conflicts {} + opens {} != open-page accesses {}",
                 stats.dram.row_hits,
                 stats.dram.row_conflicts,
                 stats.dram.row_opens,
+                stats.dram.open_page_accesses
+            )
+        },
+    );
+    out.check(
+        "dram",
+        "open-page accesses never outnumber accesses",
+        stats.dram.open_page_accesses <= stats.dram.accesses(),
+        || {
+            format!(
+                "open-page accesses {} > accesses {}",
+                stats.dram.open_page_accesses,
                 stats.dram.accesses()
             )
         },
@@ -427,6 +439,55 @@ pub fn probe_dram_laggard() -> AuditReport {
     out
 }
 
+/// Interleaves open-page, close-page, and PIM-style rank-local traffic
+/// through one DRAM model and checks the row-outcome partition stays
+/// exact: every open-page access lands in exactly one of
+/// `row_hits`/`row_conflicts`/`row_opens`, and close-page traffic (the
+/// rank-offload path always precharges) contributes no outcome at all.
+/// This pins the accounting against an outcome being double-counted or
+/// dropped when a rank-local access bypasses the channel queue.
+pub fn probe_row_outcome_partition() -> AuditReport {
+    let mut out = AuditReport::new();
+    let mut d = DramModel::new(DramConfig {
+        channels: 2,
+        latency: 100,
+        bytes_per_cycle: 6.4,
+        default_mode: RowMode::ClosePage,
+    });
+    let mut open_page = 0u64;
+    for i in 0..30u64 {
+        // Every third access mimics the PIM rank-offload write: close-page,
+        // word-granularity, issued out of lockstep with the open-page
+        // stream (including laggard arrival times).
+        if i % 3 == 2 {
+            d.access(i * 0x90, 8, true, RowMode::ClosePage, i * 5);
+        } else {
+            d.access(i * 0x90, 64, i % 2 == 0, RowMode::OpenPage, i * 11);
+            open_page += 1;
+        }
+    }
+    let s = d.stats();
+    out.check(
+        "dram",
+        "open-page accesses counted once each under interleaved policies",
+        s.open_page_accesses == open_page,
+        || format!("counted {} vs issued {}", s.open_page_accesses, open_page),
+    );
+    out.check(
+        "dram",
+        "close-page and rank-local accesses produce no row outcome",
+        s.row_hits + s.row_conflicts + s.row_opens == open_page,
+        || {
+            format!(
+                "hits {} + conflicts {} + opens {} vs {} open-page accesses",
+                s.row_hits, s.row_conflicts, s.row_opens, open_page
+            )
+        },
+    );
+    d.audit_into(&mut out);
+    out
+}
+
 /// Runs every deterministic component probe and folds the results into one
 /// report. The `audit` binary runs this before touching any workload, so a
 /// reverted accounting fix fails CI even if no sweep happens to exercise
@@ -435,6 +496,7 @@ pub fn run_probes() -> AuditReport {
     let mut out = probe_round_trip_accounting();
     out.merge(probe_noc_laggard());
     out.merge(probe_dram_laggard());
+    out.merge(probe_row_outcome_partition());
     out
 }
 

@@ -163,22 +163,25 @@ impl DramModel {
                 self.open_row[ch] = None;
                 self.cfg.latency as u64
             }
-            RowMode::OpenPage => match self.open_row[ch] {
-                Some(open) if open == row => {
-                    self.stats.row_hits += 1;
-                    ROW_HIT_LATENCY as u64
+            RowMode::OpenPage => {
+                self.stats.open_page_accesses += 1;
+                match self.open_row[ch] {
+                    Some(open) if open == row => {
+                        self.stats.row_hits += 1;
+                        ROW_HIT_LATENCY as u64
+                    }
+                    Some(_) => {
+                        self.stats.row_conflicts += 1;
+                        self.open_row[ch] = Some(row);
+                        (self.cfg.latency + ROW_CONFLICT_EXTRA) as u64
+                    }
+                    None => {
+                        self.stats.row_opens += 1;
+                        self.open_row[ch] = Some(row);
+                        self.cfg.latency as u64
+                    }
                 }
-                Some(_) => {
-                    self.stats.row_conflicts += 1;
-                    self.open_row[ch] = Some(row);
-                    (self.cfg.latency + ROW_CONFLICT_EXTRA) as u64
-                }
-                None => {
-                    self.stats.row_opens += 1;
-                    self.open_row[ch] = Some(row);
-                    self.cfg.latency as u64
-                }
-            },
+            }
         };
         // Drain the backlog by the time elapsed since the last arrival. A
         // lagging requester (now behind the channel's last arrival) lands
@@ -259,12 +262,23 @@ impl DramModel {
         );
         out.check(
             "dram",
-            "row outcomes never outnumber accesses",
-            s.row_hits + s.row_conflicts + s.row_opens <= accesses,
+            "row outcomes exactly partition the open-page accesses",
+            s.row_hits + s.row_conflicts + s.row_opens == s.open_page_accesses,
             || {
                 format!(
-                    "hits {} + conflicts {} + opens {} > {} accesses",
-                    s.row_hits, s.row_conflicts, s.row_opens, accesses
+                    "hits {} + conflicts {} + opens {} != {} open-page accesses",
+                    s.row_hits, s.row_conflicts, s.row_opens, s.open_page_accesses
+                )
+            },
+        );
+        out.check(
+            "dram",
+            "open-page accesses never outnumber accesses",
+            s.open_page_accesses <= accesses,
+            || {
+                format!(
+                    "{} open-page accesses > {} accesses",
+                    s.open_page_accesses, accesses
                 )
             },
         );

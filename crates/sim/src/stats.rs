@@ -172,6 +172,12 @@ pub struct DramStats {
     /// Open-page accesses that activated a closed bank (first touch after
     /// reset or after a close-page access precharged the row).
     pub row_opens: u64,
+    /// Accesses issued under the open-page policy — the exact denominator
+    /// of the row-outcome partition. Close-page accesses (and rank-local
+    /// PIM traffic, which always precharges) contribute nothing here, so
+    /// the auditor can require `row_hits + row_conflicts + row_opens ==
+    /// open_page_accesses` instead of a lossy `<= accesses` bound.
+    pub open_page_accesses: u64,
 }
 
 impl DramStats {
@@ -203,6 +209,7 @@ impl DramStats {
         self.row_hits += other.row_hits;
         self.row_conflicts += other.row_conflicts;
         self.row_opens += other.row_opens;
+        self.open_page_accesses += other.open_page_accesses;
     }
 
     /// Field-wise difference against an earlier snapshot (saturating).
@@ -216,6 +223,9 @@ impl DramStats {
             row_hits: self.row_hits.saturating_sub(earlier.row_hits),
             row_conflicts: self.row_conflicts.saturating_sub(earlier.row_conflicts),
             row_opens: self.row_opens.saturating_sub(earlier.row_opens),
+            open_page_accesses: self
+                .open_page_accesses
+                .saturating_sub(earlier.open_page_accesses),
         }
     }
 

@@ -18,8 +18,9 @@ cargo run --release -q -p omega-bench --bin stats -- \
   --out target/telemetry-sample.json
 echo "ci: wrote target/validate-report.json and target/telemetry-sample.json"
 
-# Model-audit gate: conservation probes, the eight-machine sweep under the
-# invariant checker, and seeded differential config fuzzing. A fixed seed
+# Model-audit gate: conservation probes, the ten-machine sweep under the
+# invariant checker (including the PIM-rank and specialized-cache rivals),
+# and seeded differential config fuzzing. A fixed seed
 # keeps the fuzz stream reproducible; the JSON report is a CI artifact.
 # --jobs 2 runs every replay on the staged parallel engine, so the gate
 # doubles as a parallel-vs-serial equivalence check.
